@@ -1,0 +1,58 @@
+"""Shared fixtures for the figure-reproduction benchmarks.
+
+Every benchmark consumes the same :class:`repro.Workbench`. The expensive
+artifacts (pretrained weights, the 148-TRN exploration, the TRN latency
+dataset) are built once and cached on disk under the default cache
+directory, so the first benchmark session pays for them and later sessions
+are fast.
+
+Each benchmark writes the data series it reproduces to
+``benchmarks/results/<experiment>.txt`` so the "figure" can be inspected
+(and plotted) after the run.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import Workbench
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def wb() -> Workbench:
+    return Workbench()
+
+
+@pytest.fixture(scope="session")
+def exploration(wb):
+    return wb.exploration()
+
+
+@pytest.fixture(scope="session")
+def latency_points(wb):
+    return wb.latency_dataset()
+
+
+@pytest.fixture(scope="session")
+def originals(exploration):
+    """Off-the-shelf (0 blocks removed) records, keyed by base network."""
+    return {r.base_name: r for r in exploration.originals()}
+
+
+def emit(name: str, lines: list[str]) -> str:
+    """Write a reproduced figure's data series to benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as fh:
+        fh.write("\n".join(lines) + "\n")
+    return path
+
+
+def series(xs, ys, fmt="{:.4f}") -> list[str]:
+    """Format paired series as aligned two-column rows."""
+    return [f"{x!s:>24}  {fmt.format(y)}" for x, y in zip(xs, ys)]

@@ -1,0 +1,63 @@
+"""Device portability: NetCut re-selects per platform (extension).
+
+The methodology's promise is that adapting to a new device only requires
+re-running the cheap latency estimation — no new training sweep. This
+benchmark runs Algorithm 1 against three device profiles spanning the
+embedded spectrum and checks the expected monotonicity: weaker devices
+force deeper cuts (or infeasibility), stronger devices admit bigger TRNs.
+"""
+
+import pytest
+
+from repro.device import agx_boosted, nano, xavier
+from repro.experiments import Workbench
+
+from conftest import emit
+
+
+@pytest.fixture(scope="module")
+def results(wb):
+    out = {}
+    for spec in (nano(), xavier(), agx_boosted()):
+        bench = Workbench(wb.config, device=spec, cache_dir=wb.cache_dir)
+        bench._bases = wb._bases  # share the pretrained networks
+        bench._hands = wb._hands
+        out[spec.name] = bench.netcut("profiler")
+    return out
+
+
+def test_portability_selections_differ(results, benchmark):
+    rows = benchmark(lambda: {
+        name: (r.best.trn_name, r.best.accuracy,
+               sum(c.blocks_removed for c in r.candidates if c.feasible))
+        for name, r in results.items()})
+    lines = [f"{'device':26s} {'winner':26s} {'accuracy':>9} "
+             f"{'total_blocks_removed':>21}"]
+    for name, (winner, acc, blocks) in rows.items():
+        lines.append(f"{name:26s} {winner:26s} {acc:>9.4f} {blocks:>21d}")
+    emit("ext_device_portability", lines)
+
+    # weaker device -> more blocks removed across the portfolio
+    nano_blocks = rows["jetson-nano-sim"][2]
+    xavier_blocks = rows["jetson-xavier-sim"][2]
+    agx_blocks = rows["jetson-agx-boosted-sim"][2]
+    assert nano_blocks > xavier_blocks > agx_blocks
+
+
+def test_portability_stronger_device_higher_accuracy(results, benchmark):
+    """A faster device admits larger TRNs, so the winner's accuracy is
+    monotone in device strength."""
+    accs = benchmark(lambda: [results[n].best.accuracy
+                              for n in ("jetson-nano-sim",
+                                        "jetson-xavier-sim",
+                                        "jetson-agx-boosted-sim")])
+    assert accs[0] <= accs[1] + 0.01
+    assert accs[1] <= accs[2] + 0.01
+
+
+def test_portability_every_device_finds_feasible_trns(results, benchmark):
+    feasible = benchmark(lambda: {
+        name: sum(1 for c in r.candidates if c.feasible)
+        for name, r in results.items()})
+    for name, count in feasible.items():
+        assert count >= 5, name

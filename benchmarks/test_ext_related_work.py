@@ -1,0 +1,106 @@
+"""Related-work comparisons (paper §II), implemented on the same substrates.
+
+The paper positions NetCut against BranchyNet (runtime early exiting on a
+single network) and NetAdapt (iterative per-network pruning with retraining
+every step). These benchmarks quantify the positioning claims:
+
+- TRNs are static, so their latency is a *hard* bound; BranchyNet's
+  threshold tuning trades accuracy against *average* latency, which is the
+  wrong guarantee for a control loop with a deadline — and at the deadline
+  its accuracy does not beat the NetCut TRN.
+- NetAdapt retrains one candidate per prunable layer per iteration, so its
+  exploration cost for a *single* network rivals NetCut's cost for all
+  seven; and on launch-overhead-dominated hardware channel pruning cannot
+  remove kernels, so it recovers less latency per accuracy point than
+  layer removal.
+"""
+
+import numpy as np
+import pytest
+
+from repro.device.latency import network_latency
+from repro.extensions import NetAdaptConfig, build_branchy, run_netadapt
+from repro.hand import DEFAULT_DEADLINE_MS
+
+from conftest import emit
+
+
+@pytest.fixture(scope="module")
+def hands(wb):
+    return wb.hands()
+
+
+def test_ext_branchynet_vs_trns(wb, exploration, hands, benchmark):
+    train, test = hands
+    base = wb.base("densenet121")
+
+    def build_and_sweep():
+        branchy = build_branchy(base, wb.device, train.x, train.y,
+                                head_epochs=wb.config.head_epochs)
+        return branchy.tradeoff_curve(
+            test.x, test.y, np.linspace(0.2, 1.6, 8))
+
+    curve = benchmark.pedantic(build_and_sweep, rounds=1, iterations=1)
+    lines = [f"{'threshold':>9} {'accuracy':>9} {'mean_latency_ms':>16}"]
+    for t, acc, lat in curve:
+        lines.append(f"{t:>9.2f} {acc:>9.4f} {lat:>16.3f}")
+
+    # the best TRN under the hard deadline
+    feasible = [r for r in exploration.records
+                if r.latency_ms <= DEFAULT_DEADLINE_MS]
+    best_trn = max(feasible, key=lambda r: r.accuracy)
+    lines.append(f"best TRN at hard {DEFAULT_DEADLINE_MS} ms: "
+                 f"{best_trn.trn_name} acc={best_trn.accuracy:.4f}")
+    emit("ext_branchynet", lines)
+
+    # early exiting does trade latency for accuracy ...
+    lats = [lat for _, _, lat in curve]
+    assert max(lats) > min(lats) * 1.2
+    # ... but where its AVERAGE latency meets the deadline, its accuracy
+    # does not beat the static TRN that meets the deadline on EVERY frame
+    at_deadline = [acc for _, acc, lat in curve
+                   if lat <= DEFAULT_DEADLINE_MS]
+    if at_deadline:  # reachable only at aggressive thresholds
+        assert max(at_deadline) <= best_trn.accuracy + 0.01
+
+
+def test_ext_netadapt_vs_netcut(wb, exploration, hands, benchmark):
+    """Same budget, same network (MobileNetV1(0.5), NetAdapt's own target
+    architecture): compare the adapted network and its exploration cost
+    against the NetCut TRN of that network."""
+    train, test = hands
+    trn0 = wb.transfer_model("mobilenet_v1_0.5")
+    start_ms = network_latency(trn0, wb.device).total_ms
+    budget = 0.9 * start_ms
+
+    def adapt():
+        return run_netadapt(
+            trn0, budget, wb.device, train.x, train.y, test.x, test.y,
+            NetAdaptConfig(step_ms=0.012, head_epochs_short=10,
+                           head_epochs_final=wb.config.head_epochs),
+            cost_model=wb.cost_model)
+
+    result = benchmark.pedantic(adapt, rounds=1, iterations=1)
+
+    # NetCut's TRN of the same base at the same budget
+    rows = [r for r in exploration.for_base("mobilenet_v1_0.5")
+            if r.latency_ms <= budget]
+    netcut_trn = max(rows, key=lambda r: r.accuracy)
+
+    emit("ext_netadapt", [
+        f"budget: {budget:.3f} ms (from {start_ms:.3f} ms)",
+        f"netadapt: acc={result.accuracy:.4f} lat={result.latency_ms:.3f} "
+        f"candidates_trained={result.candidates_trained} "
+        f"simulated_hours={result.train_hours:.2f}",
+        f"netcut TRN: {netcut_trn.trn_name} acc={netcut_trn.accuracy:.4f} "
+        f"lat={netcut_trn.latency_ms:.3f} "
+        f"simulated_hours={netcut_trn.train_hours:.2f}",
+    ])
+
+    # the paper's claim: NetAdapt needs many retrained candidates for ONE
+    # network, while NetCut retrains one TRN per network
+    assert result.candidates_trained >= 5
+    assert result.train_hours > 2 * netcut_trn.train_hours
+    # and on launch-dominated hardware, layer removal reaches the budget
+    # with at least comparable accuracy
+    assert netcut_trn.accuracy >= result.accuracy - 0.02

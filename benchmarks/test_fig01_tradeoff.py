@@ -1,0 +1,79 @@
+"""Fig. 1 — latency/accuracy trade-off of the off-the-shelf networks.
+
+The paper's Figure 1 plots the seven off-the-shelf networks on the
+latency-accuracy plane and marks the 0.9 ms robotic-hand deadline: only the
+MobileNetV1 variants meet it, MobileNetV1(0.5) is the best feasible choice
+(0.81 accuracy at 0.36 ms on the real Xavier), and the slack between its
+latency and the deadline is an unexploited accuracy gap.
+
+Every test here times a representative step with pytest-benchmark so the
+whole file runs under ``--benchmark-only``.
+"""
+
+import pytest
+
+from repro.device import measure_latency
+from repro.hand import DEFAULT_DEADLINE_MS
+from repro.metrics import CandidatePoint, accuracy_gap, best_under_deadline
+
+from conftest import emit
+
+
+@pytest.fixture(scope="module")
+def points(originals):
+    return [CandidatePoint(r.base_name, r.latency_ms, r.accuracy)
+            for r in originals.values()]
+
+
+def test_fig01_offtheshelf_tradeoff(points, benchmark):
+    best = benchmark(best_under_deadline, points, DEFAULT_DEADLINE_MS)
+    gap = accuracy_gap(points, DEFAULT_DEADLINE_MS)
+
+    lines = [f"{'network':24s} {'latency_ms':>10} {'accuracy':>9}"]
+    for p in sorted(points, key=lambda p: p.latency_ms):
+        lines.append(f"{p.name:24s} {p.latency_ms:>10.3f} {p.accuracy:>9.4f}")
+    lines.append(f"deadline: {DEFAULT_DEADLINE_MS} ms")
+    lines.append(f"best under deadline: {best.name} "
+                 f"(acc {best.accuracy:.4f}); accuracy gap {gap:.4f}")
+    emit("fig01_tradeoff", lines)
+
+    # paper shape: only the MobileNetV1 variants meet the deadline ...
+    feasible = {p.name for p in points if p.meets(DEFAULT_DEADLINE_MS)}
+    assert feasible == {"mobilenet_v1_0.25", "mobilenet_v1_0.5"}
+    # ... the best of them is MobileNetV1(0.5) ...
+    assert best.name == "mobilenet_v1_0.5"
+    # ... and a real accuracy gap is left on the table.
+    assert gap > 0.02
+
+
+def test_fig01_latency_ordering(originals, benchmark):
+    lat = benchmark(lambda: {name: r.latency_ms
+                             for name, r in originals.items()})
+    assert lat["mobilenet_v1_0.25"] < lat["mobilenet_v1_0.5"]
+    assert lat["mobilenet_v1_0.5"] < lat["mobilenet_v2_1.0"]
+    assert lat["mobilenet_v2_1.0"] < lat["mobilenet_v2_1.4"]
+    assert lat["resnet50"] < lat["densenet121"] < lat["inception_v3"]
+
+
+def test_fig01_accuracy_broadly_increases_with_latency(points, benchmark):
+    """Slower networks are (broadly) more accurate: the two extremes hold
+    strictly, and pairwise concordance is clearly positive."""
+    ordered = sorted(points, key=lambda p: p.latency_ms)
+    accs = [p.accuracy for p in ordered]
+
+    def concordance():
+        hits = sum(1 for i in range(len(accs))
+                   for j in range(i + 1, len(accs)) if accs[j] > accs[i])
+        return hits / (len(accs) * (len(accs) - 1) / 2)
+
+    ratio = benchmark(concordance)
+    assert accs[0] == min(accs)           # fastest net is least accurate
+    assert max(accs[-3:]) == max(accs)    # a slow net is the most accurate
+    assert ratio > 0.6
+
+
+def test_bench_measure_latency(benchmark, wb):
+    """Benchmark: one paper-protocol latency measurement (200+800 runs)."""
+    trn = wb.transfer_model("mobilenet_v1_0.5")
+    result = benchmark(lambda: measure_latency(trn, wb.device).mean_ms)
+    assert result > 0

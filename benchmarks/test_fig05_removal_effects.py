@@ -1,0 +1,118 @@
+"""Fig. 5 and §IV-B2 — effects of layer removal on accuracy and latency.
+
+Figure 5 plots accuracy against the number of removed layers for all seven
+networks (148 TRNs): MobileNets degrade quickly with the slightest removal
+while DenseNet and Inception stay flat past 100 removed layers. §IV-B2
+notes (without a figure) that inference latency falls almost linearly with
+the number of removed layers.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import emit
+
+
+def _curve(exploration, name):
+    rows = exploration.for_base(name)
+    layers = np.array([r.layers_removed for r in rows])
+    accs = np.array([r.accuracy for r in rows])
+    lats = np.array([r.latency_ms for r in rows])
+    return layers, accs, lats
+
+
+def test_fig05_accuracy_vs_layers_removed(exploration, wb, benchmark):
+    curves = benchmark(lambda: {name: _curve(exploration, name)
+                                for name in wb.config.networks})
+    lines = [f"{'network':20s} {'layers_removed':>14} {'accuracy':>9}"]
+    for name, (layers, accs, _) in curves.items():
+        for la, acc in zip(layers, accs):
+            lines.append(f"{name:20s} {la:>14d} {acc:>9.4f}")
+    emit("fig05_accuracy_vs_removal", lines)
+
+    # total sweep size: 148 TRNs + 7 originals
+    assert exploration.networks_trained == 155
+
+    # deep removal hurts every network relative to its own peak
+    for name, (layers, accs, _) in curves.items():
+        assert accs[-1] < accs.max(), name
+
+
+def test_fig05_mobilenets_fragile_dense_inception_robust(exploration,
+                                                         benchmark):
+    """The paper's headline Fig. 5 contrast, at matched relative depth:
+    halfway through removal, MobileNets have lost far more of their
+    original accuracy than DenseNet/Inception."""
+
+    def half_depth_drop(name):
+        layers, accs, _ = _curve(exploration, name)
+        origin = accs[0]
+        half = layers[-1] / 2
+        idx = int(np.argmin(np.abs(layers - half)))
+        return (origin - accs[idx]) / origin
+
+    drops = benchmark(lambda: {
+        name: half_depth_drop(name)
+        for name in ["mobilenet_v1_0.5", "mobilenet_v1_0.25",
+                     "densenet121", "inception_v3"]})
+    assert drops["mobilenet_v1_0.5"] > 2 * drops["densenet121"]
+    assert drops["mobilenet_v1_0.5"] > 2 * drops["inception_v3"]
+
+
+def test_fig05_dense_inception_flat_past_100_layers(exploration, benchmark):
+    """DenseNet's accuracy at 100+ removed layers is within a few percent
+    of its unmodified accuracy; Inception holds at its deepest cuts too."""
+
+    def flatness(name, threshold):
+        layers, accs, _ = _curve(exploration, name)
+        deep = accs[layers >= threshold]
+        return (accs[0] - deep.max()) / accs[0] if deep.size else np.nan
+
+    # "low loss passing 100 removed layers, smooth drop afterwards":
+    # the best TRN beyond 100 removed layers is within 10% of the original
+    dense = benchmark(flatness, "densenet121", 100)
+    assert dense < 0.10
+    incept = flatness("inception_v3", 60)
+    assert incept < 0.06
+
+
+def test_fig05_mobilenet_drops_with_slightest_removal(exploration,
+                                                      benchmark):
+    """Removing just a few blocks already costs MobileNetV1(0.5) more
+    relative accuracy than DenseNet loses after dozens of layers."""
+    layers_m, accs_m, _ = _curve(exploration, "mobilenet_v1_0.5")
+    layers_d, accs_d, _ = _curve(exploration, "densenet121")
+    mob_early_drop = benchmark(
+        lambda: (accs_m[0] - accs_m[3]) / accs_m[0])  # 3 blocks = 6 layers
+    dense_50_layer_drop = (accs_d[0]
+                           - accs_d[np.argmin(np.abs(layers_d - 50))]) / accs_d[0]
+    assert mob_early_drop > dense_50_layer_drop
+
+
+def test_sec4b2_latency_linear_in_layers_removed(exploration, wb, benchmark):
+    """Latency decreases almost linearly with removed layers.
+
+    The narrow MobileNets are slightly convex (early layers run on larger
+    feature maps and cost more per layer), so "almost linear" is asserted
+    as R² > 0.90 with a strictly negative slope; the deep networks exceed
+    0.98.
+    """
+
+    def r_squared(name):
+        layers, _, lats = _curve(exploration, name)
+        coeffs = np.polyfit(layers, lats, 1)
+        fit = np.polyval(coeffs, layers)
+        ss_res = np.sum((lats - fit) ** 2)
+        ss_tot = np.sum((lats - lats.mean()) ** 2)
+        return 1 - ss_res / ss_tot, coeffs[0]
+
+    lines = [f"{'network':20s} {'R^2':>8} {'slope_ms_per_layer':>19}"]
+    for name in wb.config.networks:
+        r2, slope = r_squared(name)
+        lines.append(f"{name:20s} {r2:>8.4f} {slope:>19.5f}")
+        assert r2 > 0.90, name
+        assert slope < 0, name
+    for deep_name in ("inception_v3", "resnet50"):
+        assert r_squared(deep_name)[0] > 0.98
+    emit("sec4b2_latency_linearity", lines)
+    benchmark(r_squared, "densenet121")

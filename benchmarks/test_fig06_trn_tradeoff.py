@@ -1,0 +1,79 @@
+"""Fig. 6 — the accuracy/performance trade-off of all 148 TRNs.
+
+The paper's observations on this scatter plot:
+
+- ResNet contributes accurate TRNs that fill the latency range before
+  MobileNetV2(1.4);
+- trimming MobileNetV1(0.5) expands the frontier at the fast end and even
+  *dominates* the off-the-shelf MobileNetV1(0.25);
+- layer removal extends the trade-off to the lower (faster) extreme.
+"""
+
+import pytest
+
+from repro.metrics import CandidatePoint, dominates
+
+from conftest import emit
+
+
+@pytest.fixture(scope="module")
+def all_points(exploration):
+    return [CandidatePoint(r.trn_name, r.latency_ms, r.accuracy)
+            for r in exploration.records]
+
+
+def test_fig06_scatter(exploration, wb, benchmark):
+    rows = benchmark(lambda: sorted(exploration.records,
+                                    key=lambda r: r.latency_ms))
+    lines = [f"{'trn':26s} {'latency_ms':>10} {'accuracy':>9}"]
+    for r in rows:
+        lines.append(f"{r.trn_name:26s} {r.latency_ms:>10.3f} "
+                     f"{r.accuracy:>9.4f}")
+    emit("fig06_trn_tradeoff", lines)
+    assert len(rows) == 155
+
+
+def test_fig06_resnet_fills_gap_before_mnv2_14(exploration, originals,
+                                               benchmark):
+    """ResNet TRNs occupy the deadline region below MobileNetV2(1.4) with
+    accuracy at least on par with the feasible off-the-shelf networks."""
+    mnv2_lat = originals["mobilenet_v2_1.4"].latency_ms
+    best_fast_offshelf = originals["mobilenet_v1_0.5"].accuracy
+
+    def resnet_gap_points():
+        return [r for r in exploration.for_base("resnet50")
+                if r.blocks_removed and 0.6 < r.latency_ms < mnv2_lat]
+
+    in_gap = benchmark(resnet_gap_points)
+    assert in_gap, "no ResNet TRNs in the gap region"
+    assert max(r.accuracy for r in in_gap) >= best_fast_offshelf - 0.02
+
+
+def test_fig06_trimmed_mnv1_05_dominates_offshelf_mnv1_025(
+        exploration, originals, benchmark):
+    """A TRN of MobileNetV1(0.5) dominates the off-the-shelf 0.25 variant."""
+    small = originals["mobilenet_v1_0.25"]
+    small_pt = CandidatePoint(small.trn_name, small.latency_ms,
+                              small.accuracy)
+
+    def dominated():
+        for r in exploration.for_base("mobilenet_v1_0.5"):
+            if r.blocks_removed == 0:
+                continue
+            trn_pt = CandidatePoint(r.trn_name, r.latency_ms, r.accuracy)
+            if dominates(trn_pt, small_pt):
+                return trn_pt
+        return None
+
+    winner = benchmark(dominated)
+    assert winner is not None
+
+
+def test_fig06_removal_extends_lower_extreme(exploration, originals,
+                                             benchmark):
+    """TRNs reach latencies below the fastest off-the-shelf network."""
+    fastest_offshelf = min(r.latency_ms for r in originals.values())
+    fastest_trn = benchmark(
+        lambda: min(r.latency_ms for r in exploration.records
+                    if r.blocks_removed))
+    assert fastest_trn < 0.6 * fastest_offshelf

@@ -1,0 +1,96 @@
+"""Fig. 7 — the new Pareto frontier after layer removal.
+
+The paper extracts the Pareto frontier over all TRNs and off-the-shelf
+networks and reports that removal-derived TRNs expand it: removing one
+block from MobileNetV1(0.5) yields a 10.43% relative accuracy gain at its
+latency point, and the average relative improvement across networks is
+about 5%.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hand import DEFAULT_DEADLINE_MS
+from repro.metrics import (
+    CandidatePoint,
+    best_under_deadline,
+    pareto_frontier,
+    relative_improvement,
+)
+
+from conftest import emit
+
+
+@pytest.fixture(scope="module")
+def trn_points(exploration):
+    return [CandidatePoint(r.trn_name, r.latency_ms, r.accuracy)
+            for r in exploration.records]
+
+
+@pytest.fixture(scope="module")
+def offshelf_points(originals):
+    return [CandidatePoint(r.base_name, r.latency_ms, r.accuracy)
+            for r in originals.values()]
+
+
+def test_fig07_frontier_expands(trn_points, offshelf_points, benchmark):
+    frontier = benchmark(pareto_frontier, trn_points)
+    off_frontier = pareto_frontier(offshelf_points)
+
+    lines = [f"{'frontier member':26s} {'latency_ms':>10} {'accuracy':>9}"]
+    for p in frontier:
+        lines.append(f"{p.name:26s} {p.latency_ms:>10.3f} "
+                     f"{p.accuracy:>9.4f}")
+    emit("fig07_pareto_frontier", lines)
+
+    # the TRN frontier has many more members than the off-the-shelf one...
+    assert len(frontier) > len(off_frontier)
+    # ...and TRNs (not just originals) sit on it
+    trimmed_members = [p for p in frontier if "/" in p.name]
+    assert len(trimmed_members) >= 3
+
+
+def test_fig07_relative_improvement_at_deadline(trn_points, offshelf_points,
+                                                benchmark):
+    """The headline number: TRNs beat the best feasible off-the-shelf
+    network at the 0.9 ms deadline by a large relative margin (paper:
+    up to 10.43%)."""
+    baseline = best_under_deadline(offshelf_points, DEFAULT_DEADLINE_MS)
+    best_trn = benchmark(best_under_deadline, trn_points,
+                         DEFAULT_DEADLINE_MS)
+    gain = relative_improvement(baseline, best_trn)
+    emit("fig07_deadline_gain", [
+        f"baseline: {baseline.name} acc={baseline.accuracy:.4f}",
+        f"best TRN: {best_trn.name} acc={best_trn.accuracy:.4f}",
+        f"relative improvement: {gain:+.2f}% (paper: up to +10.43%)"])
+    assert gain > 4.0
+
+
+def test_fig07_average_improvement_across_deadlines(trn_points,
+                                                    offshelf_points,
+                                                    benchmark):
+    """Across a range of deadlines, TRNs improve on the off-the-shelf
+    choice by ~5% on average (paper: 5.0% average across TRNs)."""
+    deadlines = np.linspace(0.35, 2.2, 12)
+
+    def mean_gain():
+        gains = []
+        for d in deadlines:
+            base = best_under_deadline(offshelf_points, d)
+            trn = best_under_deadline(trn_points, d)
+            if base is None or trn is None:
+                continue
+            gains.append(relative_improvement(base, trn))
+        return float(np.mean(gains))
+
+    avg = benchmark(mean_gain)
+    emit("fig07_average_gain",
+         [f"mean relative improvement over {len(deadlines)} deadlines: "
+          f"{avg:+.2f}% (paper: 5.0% average)"])
+    assert avg > 2.0
+
+
+def test_fig07_frontier_contains_fast_trns(trn_points, benchmark):
+    """Layer removal expands the Pareto frontier to the lower extreme."""
+    frontier = benchmark(pareto_frontier, trn_points)
+    assert frontier[0].latency_ms < 0.2

@@ -1,0 +1,107 @@
+"""Fig. 10 and Algorithm 1 — the networks NetCut finally selects.
+
+The paper's end result: with the 0.9 ms deadline, the profiler-based run
+proposes ResNet/114 and the analytical run ResNet/94, improving accuracy
+over the off-the-shelf choice by 2.2% and 5.7% respectively, while training
+only ~9 networks instead of 148 (95% reduction) and cutting exploration
+time from 183 h to 6.7 h (27×) on the Tesla K20m.
+
+Our reproduction keeps every structural property (one retrained TRN per
+base network, the accuracy win at the deadline, the 95% reduction, an
+order-of-magnitude speedup); the winning *family* differs (DenseNet rather
+than ResNet) because the synthetic transfer task favours DenseNet's
+concatenated features — see EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.hand import DEFAULT_DEADLINE_MS
+from repro.netcut import compare_costs
+
+from conftest import emit
+
+
+@pytest.fixture(scope="module")
+def profiler_result(wb):
+    return wb.netcut("profiler")
+
+
+@pytest.fixture(scope="module")
+def analytical_result(wb):
+    return wb.netcut("analytical")
+
+
+def test_fig10_selected_networks(profiler_result, analytical_result,
+                                 originals, benchmark):
+    benchmark(lambda: profiler_result.best)
+    lines = [f"{'estimator':12s} {'candidate':26s} {'blocks':>6} "
+             f"{'est_ms':>8} {'meas_ms':>8} {'accuracy':>9}"]
+    for label, result in (("profiler", profiler_result),
+                          ("analytical", analytical_result)):
+        for c in result.candidates:
+            lines.append(
+                f"{label:12s} {c.trn_name:26s} {c.blocks_removed:>6d} "
+                f"{c.estimated_latency_ms:>8.3f} "
+                f"{c.measured_latency_ms:>8.3f} {c.accuracy:>9.4f}")
+        best = result.best
+        lines.append(f"{label:12s} WINNER: {best.trn_name} "
+                     f"acc={best.accuracy:.4f}")
+    emit("fig10_selected_networks", lines)
+
+    baseline = originals["mobilenet_v1_0.5"].accuracy
+    for result in (profiler_result, analytical_result):
+        best = result.best
+        # the winner is a trimmed network, not an off-the-shelf one
+        assert best.blocks_removed > 0
+        # and it beats the best feasible off-the-shelf network
+        gain = 100 * (best.accuracy - baseline) / baseline
+        assert gain > 2.0
+
+
+def test_fig10_one_trn_per_network(profiler_result, analytical_result,
+                                   wb, benchmark):
+    """Algorithm 1 retrains exactly one TRN per base network."""
+    count = benchmark(lambda: profiler_result.networks_trained)
+    assert count == len(wb.config.networks)
+    assert analytical_result.networks_trained == len(wb.config.networks)
+
+
+def test_fig10_estimates_meet_deadline(profiler_result, analytical_result,
+                                       benchmark):
+    """Every proposed TRN meets the deadline according to its estimate,
+    and the measured latency is within estimator error of it."""
+    cands = benchmark(lambda: [c for r in (profiler_result,
+                                           analytical_result)
+                               for c in r.candidates if c.feasible])
+    for c in cands:
+        assert c.estimated_latency_ms <= DEFAULT_DEADLINE_MS + 1e-9
+        assert c.measured_latency_ms <= DEFAULT_DEADLINE_MS * 1.08
+
+
+def test_fig10_exploration_cost_accounting(profiler_result,
+                                           analytical_result, exploration,
+                                           benchmark):
+    """The 95% / 27× claims: networks-trained reduction and GPU-hour
+    speedup of NetCut vs blockwise exhaustive exploration."""
+    cmp_single = benchmark(compare_costs, exploration, profiler_result)
+    cmp_both = compare_costs(exploration, profiler_result,
+                             analytical_result)
+    emit("fig10_accounting", [
+        "profiler run only:   " + cmp_single.summary()
+        + "   [paper: 95% fewer, 27x]",
+        "both estimator runs: " + cmp_both.summary()])
+
+    assert cmp_single.blockwise.networks_trained == 148
+    assert cmp_single.network_reduction_pct >= 95.0
+    assert cmp_single.speedup > 10.0
+    # running both estimators still trains ~9-11 distinct networks
+    assert cmp_both.netcut.networks_trained <= 14
+    assert cmp_both.speedup > 8.0
+
+
+def test_bench_netcut_end_to_end(wb, benchmark):
+    """Benchmark: a full Algorithm-1 run (profiler estimator, 7 networks),
+    with warm caches — the marginal cost of re-running the methodology."""
+    result = benchmark.pedantic(lambda: wb.netcut("profiler"), rounds=1,
+                                iterations=1)
+    assert result.networks_trained == 7

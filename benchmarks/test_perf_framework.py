@@ -1,0 +1,75 @@
+"""Performance benchmarks of the NumPy DNN substrate itself.
+
+Not a paper figure — these track the cost of the framework primitives the
+reproduction's wall-clock depends on: per-architecture forward passes,
+training steps, feature recording, TRN construction and the device model.
+Useful for catching performance regressions when modifying the framework.
+"""
+
+import numpy as np
+import pytest
+
+from repro.device import network_latency, xavier
+from repro.nn.losses import softmax_cross_entropy
+from repro.train import record_gap_features
+from repro.trim import build_trn, enumerate_blockwise
+from repro.zoo import build_network
+
+
+@pytest.fixture(scope="module")
+def batch():
+    return np.random.default_rng(0).normal(size=(16, 32, 32, 3)).astype(
+        np.float32)
+
+
+@pytest.mark.parametrize("name", ["mobilenet_v1_0.5", "resnet50",
+                                  "densenet121", "inception_v3"])
+def test_bench_forward(name, batch, benchmark):
+    net = build_network(name).build(0)
+    out = benchmark(net.forward, batch)
+    assert out.shape == (16, 20)
+
+
+def test_bench_training_step(batch, benchmark):
+    net = build_network("mobilenet_v1_0.5").build(0)
+    net.output_name = "logits"
+    y = np.full((16, 20), 0.05, dtype=np.float32)
+
+    def step():
+        net.zero_grad()
+        _, loss = net.forward_backward(batch, loss_fn=softmax_cross_entropy,
+                                       y=y, training=True)
+        return loss
+
+    loss = benchmark(step)
+    assert np.isfinite(loss)
+
+
+def test_bench_feature_recording(batch, benchmark):
+    net = build_network("densenet121").build(0)
+    nodes = [c.cut_node for c in enumerate_blockwise(net)]
+    feats = benchmark(record_gap_features, net, batch, nodes)
+    assert len(feats) == len(set(nodes))
+
+
+def test_bench_trn_construction(benchmark):
+    net = build_network("densenet121").build(0)
+    cut = enumerate_blockwise(net)[10]
+    trn = benchmark(build_trn, net, cut.cut_node, 5)
+    assert trn.built
+
+
+def test_bench_latency_model(benchmark):
+    net = build_network("inception_v3").build(0)
+    spec = xavier()
+    ms = benchmark(lambda: network_latency(net, spec).total_ms)
+    assert ms > 0
+
+
+def test_bench_im2col(benchmark):
+    from repro.nn import functional as F
+
+    x = np.random.default_rng(0).normal(size=(16, 32, 32, 16)).astype(
+        np.float32)
+    cols = benchmark(F.im2col, x, 3, 3, 1)
+    assert cols.shape == (16, 30, 30, 144)

@@ -1,0 +1,45 @@
+"""Walk NetCut across a range of deadlines.
+
+The paper fixes the deadline at the robotic hand's 0.9 ms; this example
+shows how the selected architecture and cut depth change as the deadline
+tightens or relaxes — the practical "give me the best network for *my*
+budget" use of the methodology. It also prints the off-the-shelf choice at
+each deadline so the TRN's accuracy gain is visible.
+
+Run:  python examples/deadline_sweep.py
+"""
+
+from repro import Workbench
+from repro.metrics import CandidatePoint, best_under_deadline
+
+DEADLINES_MS = [0.3, 0.5, 0.7, 0.9, 1.2, 1.6, 2.2]
+
+
+def main() -> None:
+    wb = Workbench()
+    exploration = wb.exploration()
+    off_the_shelf = [
+        CandidatePoint(r.base_name, r.latency_ms, r.accuracy)
+        for r in exploration.originals()]
+
+    print(f"{'deadline':>9} | {'off-the-shelf choice':>32} | "
+          f"{'NetCut choice':>26} | {'gain':>7}")
+    print("-" * 88)
+    for deadline in DEADLINES_MS:
+        baseline = best_under_deadline(off_the_shelf, deadline)
+        result = wb.netcut("profiler", deadline_ms=deadline)
+        feasible = [c for c in result.candidates if c.feasible]
+        if baseline is None and not feasible:
+            print(f"{deadline:7.1f}ms | {'-':>32} | {'-':>26} |")
+            continue
+        best = result.best
+        base_txt = (f"{baseline.name} ({baseline.accuracy:.3f})"
+                    if baseline else "none feasible")
+        gain = ("n/a" if baseline is None else
+                f"{100 * (best.accuracy - baseline.accuracy) / baseline.accuracy:+.1f}%")
+        print(f"{deadline:7.1f}ms | {base_txt:>32} | "
+              f"{best.trn_name} ({best.accuracy:.3f}) | {gain:>7}")
+
+
+if __name__ == "__main__":
+    main()

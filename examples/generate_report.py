@@ -1,0 +1,25 @@
+"""Generate the full reproduction report as markdown.
+
+Runs (or loads from cache) every experiment and writes
+``netcut_report.md`` in the current directory.
+
+Run:  python examples/generate_report.py
+"""
+
+from repro import Workbench
+from repro.report import build_report
+
+
+def main() -> None:
+    wb = Workbench()
+    report = build_report(wb)
+    path = "netcut_report.md"
+    with open(path, "w") as fh:
+        fh.write(report)
+    print(f"wrote {path} ({len(report.splitlines())} lines)")
+    print("\n".join(report.splitlines()[:30]))
+    print("...")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical build configuration lives in ``pyproject.toml``; this file
+exists so that fully offline environments without the ``wheel`` package can
+still do an editable install via ``python setup.py develop`` (modern
+``pip install -e .`` needs ``wheel`` to build a PEP 660 editable).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,227 @@
+"""Command-line interface: the paper's workflows as shell commands.
+
+Usage (after installation, or via ``python -m repro.cli``):
+
+    python -m repro.cli zoo                      # list the networks
+    python -m repro.cli measure [--net NAME]     # Fig. 1 latencies
+    python -m repro.cli explore                  # 148-TRN sweep (cached)
+    python -m repro.cli netcut --deadline 0.9 --estimator profiler
+    python -m repro.cli estimators               # Fig. 9 error table
+    python -m repro.cli pareto                   # frontier + text scatter
+
+Heavy artifacts (pretrained weights, exploration, latency dataset) are
+cached under ``~/.cache/repro-netcut`` (override with ``REPRO_CACHE_DIR``),
+so repeated invocations are fast.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _workbench(args):
+    from repro import ExperimentConfig, Workbench
+    from repro.train import PretrainConfig
+
+    networks = getattr(args, "networks", None)
+    quick = getattr(args, "quick", False)
+    hands = 60 if quick else args.hands_images
+    epochs = 6 if quick else args.head_epochs
+    if networks:
+        config = ExperimentConfig(networks=tuple(networks),
+                                  hands_images=hands, head_epochs=epochs)
+    elif quick:
+        config = ExperimentConfig(hands_images=hands, head_epochs=epochs)
+    else:
+        config = ExperimentConfig()
+    pretrain = (PretrainConfig(n_images=40, epochs=1, batch_size=16)
+                if quick else None)
+    return Workbench(config, cache_dir=getattr(args, "cache_dir", None),
+                     pretrain_config=pretrain)
+
+
+def cmd_zoo(args) -> int:
+    """List the seven networks with their structural statistics."""
+    from repro.trim import enumerate_blockwise
+    from repro.zoo import NETWORKS, build_network
+
+    print(f"{'network':22s} {'layers':>7} {'blocks':>7} {'params':>10} "
+          f"{'MFLOPs':>8}")
+    for name in NETWORKS:
+        net = build_network(name).build(0)
+        print(f"{name:22s} {net.layer_count():>7d} "
+              f"{len(enumerate_blockwise(net)):>7d} "
+              f"{net.total_params():>10,d} "
+              f"{net.total_flops() / 1e6:>8.2f}")
+    return 0
+
+
+def cmd_measure(args) -> int:
+    """Measure off-the-shelf transfer models on the simulated Xavier."""
+    wb = _workbench(args)
+    names = [args.net] if args.net else list(wb.config.networks)
+    latencies = wb.base_latencies()
+    print(f"{'network':22s} {'latency_ms':>10}   (deadline "
+          f"{args.deadline} ms)")
+    for name in names:
+        ms = latencies[name]
+        verdict = "meets" if ms <= args.deadline else "misses"
+        print(f"{name:22s} {ms:>10.3f}   {verdict}")
+    return 0
+
+
+def cmd_explore(args) -> int:
+    """Run (or load) the full blockwise exploration and print a summary."""
+    wb = _workbench(args)
+    exploration = wb.exploration(force=args.force)
+    print(f"{exploration.networks_trained} TRNs explored "
+          f"({exploration.total_train_hours:.1f} simulated K20m GPU-hours)")
+    for name in wb.config.networks:
+        rows = exploration.for_base(name)
+        best = max(rows, key=lambda r: r.accuracy)
+        print(f"  {name:22s} best TRN {best.trn_name:24s} "
+              f"acc={best.accuracy:.4f} lat={best.latency_ms:.3f} ms")
+    return 0
+
+
+def cmd_netcut(args) -> int:
+    """Run Algorithm 1 and print the proposed candidates."""
+    wb = _workbench(args)
+    result = wb.netcut(args.estimator, deadline_ms=args.deadline)
+    print(f"NetCut ({args.estimator}) @ deadline {args.deadline} ms")
+    for c in result.candidates:
+        status = "ok" if c.feasible else "infeasible"
+        print(f"  {c.base_name:22s} -> {c.trn_name:26s} "
+              f"blocks_removed={c.blocks_removed:2d} "
+              f"est={c.estimated_latency_ms:.3f} ms acc={c.accuracy:.4f} "
+              f"[{status}]")
+    best = result.best
+    print(f"winner: {best.trn_name} (accuracy {best.accuracy:.4f}, "
+          f"measured {best.measured_latency_ms:.3f} ms)")
+    return 0
+
+
+def cmd_estimators(args) -> int:
+    """Print the Fig. 9 estimator-error table."""
+    from repro.estimators import relative_error
+    from repro.trim import removed_node_set
+
+    wb = _workbench(args)
+    points = wb.latency_dataset()
+    truth = np.array([p.measured_ms for p in points])
+    profiler = wb.profiler_adapter()
+    prof = np.array([
+        profiler._estimator_for(wb.base(p.base_name)).estimate(
+            removed_node_set(wb.base(p.base_name), p.cut_node))
+        for p in points])
+    svr, _ = wb.analytical_model("rbf")
+    lin, _ = wb.analytical_model("linear-ols")
+    feats = [p.features for p in points]
+    svr_pred, lin_pred = svr.predict(feats), lin.predict(feats)
+    names = [p.base_name for p in points]
+    print(f"{'network':22s} {'profiler%':>10} {'svr%':>8} {'linear%':>9}")
+    for net in wb.config.networks:
+        mask = np.array([n == net for n in names])
+        print(f"{net:22s} "
+              f"{relative_error(prof[mask], truth[mask]):>10.2f} "
+              f"{relative_error(svr_pred[mask], truth[mask]):>8.2f} "
+              f"{relative_error(lin_pred[mask], truth[mask]):>9.2f}")
+    return 0
+
+
+def cmd_pareto(args) -> int:
+    """Print the TRN Pareto frontier and a terminal scatter plot."""
+    from repro.metrics import CandidatePoint, pareto_frontier
+    from repro.viz import scatter
+
+    wb = _workbench(args)
+    exploration = wb.exploration()
+    by_family: dict[str, list[tuple[float, float]]] = {}
+    for r in exploration.records:
+        by_family.setdefault(r.base_name, []).append(
+            (r.latency_ms, r.accuracy))
+    print(scatter(by_family, xlabel="latency (ms)", ylabel="accuracy",
+                  vline=args.deadline))
+    frontier = pareto_frontier([
+        CandidatePoint(r.trn_name, r.latency_ms, r.accuracy)
+        for r in exploration.records])
+    print("\nPareto frontier:")
+    for p in frontier:
+        print(f"  {p.name:26s} {p.latency_ms:>8.3f} ms  acc {p.accuracy:.4f}")
+    return 0
+
+
+def cmd_figures(args) -> int:
+    """List every reproduced figure/claim and its benchmark."""
+    from repro.figures import EXPERIMENTS
+
+    for e in EXPERIMENTS:
+        print(f"{e.id:10s} {e.paper_ref:22s} {e.benchmark}")
+        print(f"{'':10s} {e.claim}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--networks", action="append", default=None,
+                        metavar="NAME",
+                        help="restrict to this zoo network (repeatable)")
+    parser.add_argument("--hands-images", type=int, default=1100,
+                        dest="hands_images")
+    parser.add_argument("--head-epochs", type=int, default=50,
+                        dest="head_epochs")
+    parser.add_argument("--cache-dir", default=None, dest="cache_dir")
+    parser.add_argument("--quick", action="store_true",
+                        help="tiny budgets for a fast smoke run "
+                             "(minutes, not paper-quality numbers)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("zoo", help="list the seven networks")
+
+    p = sub.add_parser("measure", help="measure off-the-shelf latencies")
+    p.add_argument("--net", default=None, help="measure only this network")
+    p.add_argument("--deadline", type=float, default=0.9)
+
+    p = sub.add_parser("explore", help="run the 148-TRN blockwise sweep")
+    p.add_argument("--force", action="store_true",
+                   help="ignore the on-disk cache")
+
+    p = sub.add_parser("netcut", help="run Algorithm 1")
+    p.add_argument("--deadline", type=float, default=0.9)
+    p.add_argument("--estimator", default="profiler",
+                   choices=["profiler", "analytical", "linear"])
+
+    sub.add_parser("estimators", help="estimator error table (Fig. 9)")
+
+    sub.add_parser("figures", help="list the reproduced figures/claims")
+
+    p = sub.add_parser("pareto", help="TRN Pareto frontier + scatter")
+    p.add_argument("--deadline", type=float, default=0.9)
+    return parser
+
+
+_COMMANDS = {
+    "zoo": cmd_zoo,
+    "measure": cmd_measure,
+    "explore": cmd_explore,
+    "netcut": cmd_netcut,
+    "estimators": cmd_estimators,
+    "figures": cmd_figures,
+    "pareto": cmd_pareto,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""Synthetic datasets: the pretraining task and the HANDS-like transfer task."""
+
+from .hands import GRASP_TYPES, grasp_affinities, grasp_distribution, make_hands_dataset
+from .imagenet import SYNTH_IMAGENET_CLASSES, make_synth_imagenet
+from .transforms import augment_batch, brightness_jitter, random_flip, random_shift
+from .synthetic import (
+    SHAPE_FAMILIES,
+    TEXTURES,
+    Dataset,
+    ObjectParams,
+    render_object,
+    sample_object,
+)
+
+__all__ = [
+    "Dataset",
+    "augment_batch",
+    "brightness_jitter",
+    "random_flip",
+    "random_shift",
+    "ObjectParams",
+    "render_object",
+    "sample_object",
+    "SHAPE_FAMILIES",
+    "TEXTURES",
+    "GRASP_TYPES",
+    "grasp_affinities",
+    "grasp_distribution",
+    "make_hands_dataset",
+    "SYNTH_IMAGENET_CLASSES",
+    "make_synth_imagenet",
+]

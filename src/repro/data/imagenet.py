@@ -1,0 +1,45 @@
+"""SynthImageNet: the pretraining task standing in for ImageNet.
+
+The paper's networks are pretrained on ImageNet (1000 classes, millions of
+images) before being transferred to the much simpler grasp-estimation task.
+SynthImageNet reproduces the *relationship* between the two tasks at
+tractable scale: 20 classes formed by the cross product of 5 shape families
+and 4 surface textures, with one-hot labels. Distinguishing
+``cylinder×checker`` from ``cylinder×stripes`` requires texture-sensitive
+late features that the 5-way grasp task does not need — exactly the
+"problem-specific last layers" that layer removal targets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .synthetic import SHAPE_FAMILIES, TEXTURES, Dataset, render_object, sample_object
+
+__all__ = ["SYNTH_IMAGENET_CLASSES", "make_synth_imagenet"]
+
+#: Class names: the cross product of shape family and texture.
+SYNTH_IMAGENET_CLASSES = [f"{fam}_{tex}" for fam in SHAPE_FAMILIES
+                          for tex in TEXTURES]
+
+
+def make_synth_imagenet(n: int = 2000, image_size: int = 32,
+                        seed: int = 0) -> Dataset:
+    """Generate the pretraining dataset.
+
+    Classes are balanced up to rounding; labels are one-hot (ImageNet
+    convention), unlike the probabilistic HANDS labels.
+    """
+    rng = np.random.default_rng(seed)
+    k = len(SYNTH_IMAGENET_CLASSES)
+    x = np.empty((n, image_size, image_size, 3), dtype=np.float32)
+    y = np.zeros((n, k), dtype=np.float32)
+    for i in range(n):
+        cls = i % k
+        family = SHAPE_FAMILIES[cls // len(TEXTURES)]
+        texture = TEXTURES[cls % len(TEXTURES)]
+        params = sample_object(rng, family=family, texture=texture)
+        x[i] = render_object(params, image_size, rng)
+        y[i, cls] = 1.0
+    order = rng.permutation(n)
+    return Dataset(x[order], y[order], list(SYNTH_IMAGENET_CLASSES))

@@ -1,0 +1,55 @@
+"""Data augmentation transforms for training.
+
+Standard light augmentation for small-image training: horizontal flips,
+random shifts (pad-and-crop) and brightness jitter. Used by the pretraining
+recipe's ``augment`` option; all transforms are vectorised over the batch
+and driven by an explicit generator for reproducibility.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["random_flip", "random_shift", "brightness_jitter", "augment_batch"]
+
+
+def random_flip(x: np.ndarray, rng: np.random.Generator,
+                p: float = 0.5) -> np.ndarray:
+    """Horizontally flip each image with probability ``p``."""
+    flip = rng.random(x.shape[0]) < p
+    out = x.copy()
+    out[flip] = out[flip, :, ::-1, :]
+    return out
+
+
+def random_shift(x: np.ndarray, rng: np.random.Generator,
+                 max_shift: int = 2) -> np.ndarray:
+    """Shift each image by up to ``max_shift`` pixels (edge-padded)."""
+    if max_shift == 0:
+        return x.copy()
+    n, h, w, c = x.shape
+    padded = np.pad(x, ((0, 0), (max_shift, max_shift),
+                        (max_shift, max_shift), (0, 0)), mode="edge")
+    out = np.empty_like(x)
+    dys = rng.integers(0, 2 * max_shift + 1, size=n)
+    dxs = rng.integers(0, 2 * max_shift + 1, size=n)
+    for i in range(n):
+        out[i] = padded[i, dys[i]:dys[i] + h, dxs[i]:dxs[i] + w, :]
+    return out
+
+
+def brightness_jitter(x: np.ndarray, rng: np.random.Generator,
+                      strength: float = 0.1) -> np.ndarray:
+    """Scale each image's brightness by a factor in ``1 ± strength``."""
+    factors = rng.uniform(1 - strength, 1 + strength,
+                          size=(x.shape[0], 1, 1, 1)).astype(x.dtype)
+    return np.clip(x * factors, 0.0, 1.0)
+
+
+def augment_batch(x: np.ndarray, rng: np.random.Generator,
+                  max_shift: int = 2,
+                  brightness: float = 0.1) -> np.ndarray:
+    """The full light-augmentation pipeline: flip → shift → brightness."""
+    out = random_flip(x, rng)
+    out = random_shift(out, rng, max_shift)
+    return brightness_jitter(out, rng, brightness)

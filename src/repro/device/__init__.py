@@ -1,0 +1,41 @@
+"""Embedded-platform simulation: latency model, profiler, fusion, quantization.
+
+This subpackage stands in for the paper's NVIDIA Jetson Xavier (inference
+measurements) and Tesla K20m (training-time accounting). See DESIGN.md for
+the calibration rationale.
+"""
+
+from .fusion import KernelGroup, fuse_kernels
+from .k20m import TrainingCostModel, k20m
+from .latency import KernelCost, LatencyBreakdown, kernel_latency_ms, network_latency
+from .profiles import DEVICE_PROFILES, agx_boosted, nano
+from .profiler import LatencyTable, LayerRecord, profile_network
+from .quantize import QuantizedNetwork, calibration_split, quantize_tensor
+from .runtime import MeasurementResult, measure_latency, sample_runs
+from .spec import DeviceSpec
+from .xavier import xavier
+
+__all__ = [
+    "DeviceSpec",
+    "xavier",
+    "nano",
+    "agx_boosted",
+    "DEVICE_PROFILES",
+    "k20m",
+    "TrainingCostModel",
+    "KernelGroup",
+    "fuse_kernels",
+    "KernelCost",
+    "LatencyBreakdown",
+    "kernel_latency_ms",
+    "network_latency",
+    "LatencyTable",
+    "LayerRecord",
+    "profile_network",
+    "MeasurementResult",
+    "measure_latency",
+    "sample_runs",
+    "QuantizedNetwork",
+    "calibration_split",
+    "quantize_tensor",
+]

@@ -1,0 +1,84 @@
+"""Simulated latency *measurement*: the paper's warm-up + averaging protocol.
+
+The paper reports inference latency on the Jetson Xavier as the average of
+800 runs after 200 warm-up runs. This module layers run-to-run noise, rare
+stragglers and a warm-up ramp on top of the deterministic model in
+:mod:`repro.device.latency`, and implements exactly that protocol, so the
+"ground truth" the estimators are scored against has realistic measurement
+character.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.graph import Network
+
+from .latency import LatencyBreakdown, network_latency
+from .spec import DeviceSpec
+
+__all__ = ["MeasurementResult", "sample_runs", "measure_latency"]
+
+
+@dataclass(frozen=True)
+class MeasurementResult:
+    """Outcome of a latency measurement session."""
+
+    network: str
+    device: str
+    mean_ms: float
+    std_ms: float
+    runs: int
+    warmup: int
+
+    def __str__(self) -> str:
+        return (f"{self.network} on {self.device}: "
+                f"{self.mean_ms:.4f} ± {self.std_ms:.4f} ms "
+                f"({self.runs} runs, {self.warmup} warm-up)")
+
+
+def sample_runs(base_ms: float, n: int, spec: DeviceSpec,
+                rng: np.random.Generator,
+                start_run: int = 0) -> np.ndarray:
+    """Sample ``n`` consecutive run latencies starting at ``start_run``.
+
+    Run ``k`` carries a warm-up multiplier
+    ``1 + warmup_factor * exp(-k / warmup_decay_runs)``, multiplicative
+    Gaussian noise, and an occasional straggler spike.
+    """
+    k = np.arange(start_run, start_run + n)
+    warm = 1.0 + spec.warmup_factor * np.exp(-k / spec.warmup_decay_runs)
+    noise = rng.normal(1.0, spec.noise_std, size=n)
+    straggler = np.where(rng.random(n) < spec.straggler_prob,
+                         1.0 + spec.straggler_scale * rng.random(n), 1.0)
+    return base_ms * warm * np.clip(noise, 0.5, None) * straggler
+
+
+def measure_latency(net: Network, spec: DeviceSpec,
+                    rng: np.random.Generator | int | None = None,
+                    warmup: int = 200, runs: int = 800,
+                    fused: bool = True, precision: str = "fp32",
+                    breakdown: LatencyBreakdown | None = None
+                    ) -> MeasurementResult:
+    """Measure a network with the paper's protocol (200 warm-up + 800 runs).
+
+    A precomputed ``breakdown`` can be passed to avoid re-deriving the
+    deterministic model when measuring many variants of the same network.
+    The RNG defaults to a seed derived from the network name so repeated
+    measurements of the same network are reproducible but different
+    networks see independent noise.
+    """
+    if rng is None:
+        rng = abs(hash((net.name, spec.name))) % (2 ** 32)
+    if isinstance(rng, (int, np.integer)):
+        rng = np.random.default_rng(int(rng))
+    if breakdown is None:
+        breakdown = network_latency(net, spec, fused=fused, precision=precision)
+    base = breakdown.total_ms
+    _ = sample_runs(base, warmup, spec, rng, start_run=0)
+    samples = sample_runs(base, runs, spec, rng, start_run=warmup)
+    return MeasurementResult(net.name, spec.name,
+                             float(samples.mean()), float(samples.std()),
+                             runs, warmup)

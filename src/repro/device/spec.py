@@ -1,0 +1,79 @@
+"""Device specifications for the embedded-GPU latency model.
+
+A :class:`DeviceSpec` captures the handful of parameters the analytic
+latency model needs: peak arithmetic throughput, effective memory bandwidth,
+per-kernel launch overhead, an occupancy ramp that penalises small kernels,
+and the measurement artefacts (run-to-run noise, warm-up behaviour,
+CUDA-event profiling overhead) that the paper's estimation methodology has
+to cope with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DeviceSpec"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Parameters of a simulated accelerator.
+
+    Attributes
+    ----------
+    name:
+        Human-readable device name.
+    peak_gflops:
+        Peak fp32 arithmetic throughput in GFLOP/s at full occupancy.
+    bandwidth_gbps:
+        Effective DRAM bandwidth in GB/s.
+    launch_overhead_us:
+        Fixed cost per kernel launch in microseconds.
+    occupancy_flops:
+        FLOP count at which a kernel reaches ~63% of peak throughput;
+        smaller kernels underutilise the device (the source of the
+        non-linearity the paper's RBF-SVR captures and linear regression
+        does not).
+    int8_speedup:
+        Arithmetic-throughput multiplier for INT8 kernels
+        (post-training quantization, paper §III-B4).
+    noise_std:
+        Relative run-to-run latency noise (standard deviation).
+    straggler_prob / straggler_scale:
+        Probability and relative magnitude of occasional slow runs
+        (scheduler preemption), motivating the paper's 200-run warm-up +
+        800-run averaging protocol.
+    warmup_factor / warmup_decay_runs:
+        The first run is ``1 + warmup_factor`` slower; the excess decays
+        exponentially over ``warmup_decay_runs`` runs (clock ramp-up).
+    event_overhead_us:
+        Extra time recorded per layer when profiling with CUDA events —
+        the reason the per-layer sum exceeds the end-to-end latency and
+        the paper's profiler-based estimator uses a ratio.
+    weight_cache_factor:
+        Fraction of weight bytes charged as DRAM traffic per inference.
+        The networks here are small enough that most weights stay resident
+        in the last-level cache, so only a fraction is re-fetched.
+    """
+
+    name: str
+    peak_gflops: float
+    bandwidth_gbps: float
+    launch_overhead_us: float
+    occupancy_flops: float
+    int8_speedup: float = 2.0
+    noise_std: float = 0.01
+    straggler_prob: float = 0.01
+    straggler_scale: float = 0.25
+    warmup_factor: float = 0.8
+    warmup_decay_runs: int = 40
+    event_overhead_us: float = 1.5
+    weight_cache_factor: float = 0.15
+
+    def launch_overhead_ms(self) -> float:
+        """Kernel launch overhead in milliseconds."""
+        return self.launch_overhead_us * 1e-3
+
+    def event_overhead_ms(self) -> float:
+        """Per-event profiling overhead in milliseconds."""
+        return self.event_overhead_us * 1e-3

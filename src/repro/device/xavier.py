@@ -1,0 +1,40 @@
+"""The simulated NVIDIA Jetson Xavier inference device.
+
+The constants below were calibrated (see DESIGN.md) so that the seven
+width-scaled zoo networks land on the latency ordering the paper reports on
+the real Xavier:
+
+- MobileNetV1(0.5) runs in ≈0.4 ms, comfortably inside the robotic hand's
+  0.9 ms deadline (paper: 0.36 ms), with MobileNetV1(0.25) slightly faster;
+- every other off-the-shelf network misses the deadline (MobileNetV2(1.0)
+  just barely, ResNet-50 by ~2x, DenseNet-121 and InceptionV3 by ~3-4x),
+  creating the Fig. 1 accuracy gap that layer removal fills.
+
+In this sub-millisecond regime the real device is dominated by kernel-launch
+overhead and DRAM traffic rather than arithmetic, which the spec reflects.
+"""
+
+from __future__ import annotations
+
+from .spec import DeviceSpec
+
+__all__ = ["xavier"]
+
+
+def xavier() -> DeviceSpec:
+    """Return the calibrated Jetson Xavier-like device specification."""
+    return DeviceSpec(
+        name="jetson-xavier-sim",
+        peak_gflops=20.0,
+        bandwidth_gbps=1.6,
+        launch_overhead_us=4.0,
+        occupancy_flops=1e4,
+        int8_speedup=2.0,
+        noise_std=0.01,
+        straggler_prob=0.01,
+        straggler_scale=0.25,
+        warmup_factor=0.8,
+        warmup_decay_runs=40,
+        event_overhead_us=0.5,
+        weight_cache_factor=0.1,
+    )

@@ -1,0 +1,45 @@
+"""Latency estimators: profiler-based, analytical (ε-SVR), and baselines."""
+
+from .analytical import (
+    PAPER_C,
+    PAPER_GAMMA,
+    AnalyticalEstimator,
+    train_test_split_indices,
+)
+from .features import FEATURE_NAMES, NetworkFeatures, extract_features
+from .layerwise import LayerwiseEstimator, layer_type_features
+from .linear import LinearRegression
+from .model_selection import (
+    GridSearchResult,
+    cross_val_error,
+    grid_search,
+    kfold_indices,
+    random_search,
+    stratified_split_indices,
+    relative_error,
+)
+from .profile_based import ProfilerEstimator
+from .svr import SVR, rbf_kernel
+
+__all__ = [
+    "SVR",
+    "rbf_kernel",
+    "LinearRegression",
+    "LayerwiseEstimator",
+    "layer_type_features",
+    "FEATURE_NAMES",
+    "NetworkFeatures",
+    "extract_features",
+    "ProfilerEstimator",
+    "AnalyticalEstimator",
+    "PAPER_GAMMA",
+    "PAPER_C",
+    "train_test_split_indices",
+    "GridSearchResult",
+    "grid_search",
+    "random_search",
+    "cross_val_error",
+    "kfold_indices",
+    "relative_error",
+    "stratified_split_indices",
+]

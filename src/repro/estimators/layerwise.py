@@ -1,0 +1,119 @@
+"""Edgent-style per-layer-type latency regression (related work, §II).
+
+Edgent (Li, Zhou, Chen; 2018) predicts a network's latency by fitting one
+linear regression *per layer type* (convolution, pooling, dense, ...) over
+simple size features, then summing the per-layer predictions. The NetCut
+paper argues against this granularity: a per-layer-type model is blind to
+runtime optimizations such as layer fusion — it prices every batch-norm and
+activation as a standalone kernel even though the deployed engine folds
+them into the preceding convolution — whereas NetCut's coarse,
+whole-network estimators remain valid.
+
+This module implements the Edgent-style estimator faithfully so the
+ablation benchmark can reproduce that argument quantitatively: trained on
+*unfused* measurements it carries a large systematic overestimate on the
+fused engine, and even retrained on fused end-to-end latencies it cannot
+attribute the fusion savings to the right layers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.device.latency import network_latency
+from repro.device.spec import DeviceSpec
+from repro.nn.graph import Network
+from repro.nn.layers import Input
+
+__all__ = ["layer_type_features", "LayerwiseEstimator"]
+
+#: Feature length per layer: [flops, in_elems, out_elems, params, 1]
+_N_FEATURES = 5
+
+
+def layer_type_features(net: Network, name: str) -> tuple[str, np.ndarray]:
+    """(layer_type, feature_vector) of one node, Edgent-style.
+
+    Features are the quantities a per-layer-type regression can know
+    without running the network: FLOPs, input/output element counts and
+    parameter count, plus an intercept term.
+    """
+    node = net.nodes[name]
+    in_shapes = net.in_shapes(name)
+    in_elems = float(sum(int(np.prod(s)) for s in in_shapes))
+    out_elems = float(np.prod(net.shape_of(name)))
+    return type(node.layer).__name__, np.array([
+        float(node.layer.flops(in_shapes)),
+        in_elems,
+        out_elems,
+        float(node.layer.param_count()),
+        1.0,
+    ])
+
+
+class LayerwiseEstimator:
+    """Per-layer-type linear regression over layer features.
+
+    ``fit`` consumes per-layer latency observations — the natural way to
+    train it is against *unfused* per-kernel timings, which is exactly what
+    a profiler that wraps every framework layer produces. ``estimate``
+    sums per-layer predictions over a network's nodes.
+    """
+
+    def __init__(self, ridge: float = 1e-6):
+        self.ridge = float(ridge)
+        self._coef: dict[str, np.ndarray] = {}
+        self._fallback: np.ndarray | None = None
+
+    def fit_from_device(self, nets: list[Network], spec: DeviceSpec
+                        ) -> "LayerwiseEstimator":
+        """Train on unfused per-kernel latencies of the given networks.
+
+        This mirrors Edgent's methodology: run each layer standalone and
+        regress its latency on its size features, per layer type.
+        """
+        samples: dict[str, list[tuple[np.ndarray, float]]] = {}
+        for net in nets:
+            breakdown = network_latency(net, spec, fused=False)
+            by_anchor = {k.anchor: k.latency_ms for k in breakdown.kernels}
+            for name, node in net.nodes.items():
+                if isinstance(node.layer, Input) or name not in by_anchor:
+                    continue
+                ltype, feats = layer_type_features(net, name)
+                samples.setdefault(ltype, []).append(
+                    (feats, by_anchor[name]))
+        return self._fit(samples)
+
+    def _fit(self, samples) -> "LayerwiseEstimator":
+        all_rows: list[tuple[np.ndarray, float]] = []
+        for ltype, rows in samples.items():
+            x = np.stack([r[0] for r in rows])
+            y = np.array([r[1] for r in rows])
+            self._coef[ltype] = self._solve(x, y)
+            all_rows.extend(rows)
+        x = np.stack([r[0] for r in all_rows])
+        y = np.array([r[1] for r in all_rows])
+        self._fallback = self._solve(x, y)
+        return self
+
+    def _solve(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        gram = x.T @ x + self.ridge * np.eye(x.shape[1])
+        return np.linalg.solve(gram, x.T @ y)
+
+    def estimate(self, net: Network) -> float:
+        """Predicted end-to-end latency: sum of per-layer predictions."""
+        if self._fallback is None:
+            raise RuntimeError("LayerwiseEstimator is not fitted")
+        total = 0.0
+        for name, node in net.nodes.items():
+            if isinstance(node.layer, Input):
+                continue
+            ltype, feats = layer_type_features(net, name)
+            coef = self._coef.get(ltype, self._fallback)
+            total += float(feats @ coef)
+        return total
+
+    @property
+    def layer_types(self) -> list[str]:
+        """Layer types with a dedicated regression model."""
+        return sorted(self._coef)

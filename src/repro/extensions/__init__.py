@@ -1,0 +1,20 @@
+"""Extensions beyond the paper: the related-work methods implemented on the
+same substrates, for head-to-head comparison with layer removal.
+
+- :mod:`repro.extensions.branchynet` — early exiting (runtime, single
+  network).
+- :mod:`repro.extensions.netadapt` — iterative channel pruning against a
+  latency budget (design-time, single network).
+"""
+
+from .branchynet import BranchyNetwork, Exit, build_branchy
+from .netadapt import NetAdaptConfig, NetAdaptResult, run_netadapt
+
+__all__ = [
+    "BranchyNetwork",
+    "Exit",
+    "build_branchy",
+    "NetAdaptConfig",
+    "NetAdaptResult",
+    "run_netadapt",
+]

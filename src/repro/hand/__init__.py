@@ -1,0 +1,37 @@
+"""The robotic prosthetic hand application (paper §III)."""
+
+from .actuation import ActuationModel, ActuationOutcome
+from .control import DEFAULT_DEADLINE_MS, ControlLoopSpec, ReachOutcome, simulate_reach
+from .emg import (
+    EMG_CHANNELS,
+    EMGClassifier,
+    EMGWindow,
+    emg_features,
+    make_emg_dataset,
+    synth_emg_window,
+)
+from .fusion import entropy, fuse_product, fuse_sequence, fuse_weighted
+from .grasps import GRASP_TYPES, GraspType, grasp_by_name, joint_targets
+
+__all__ = [
+    "ActuationModel",
+    "ActuationOutcome",
+    "ControlLoopSpec",
+    "DEFAULT_DEADLINE_MS",
+    "ReachOutcome",
+    "simulate_reach",
+    "EMG_CHANNELS",
+    "EMGClassifier",
+    "EMGWindow",
+    "emg_features",
+    "make_emg_dataset",
+    "synth_emg_window",
+    "entropy",
+    "fuse_product",
+    "fuse_weighted",
+    "fuse_sequence",
+    "GRASP_TYPES",
+    "GraspType",
+    "grasp_by_name",
+    "joint_targets",
+]

@@ -1,0 +1,104 @@
+"""Actuation dynamics of the prosthetic hand.
+
+The paper's control loop ends in an actuation unit that must form the
+decided grasp *before contact with the object*; the time it needs is what
+(together with fusion) tightens the visual classifier's deadline. This
+module models the fingers as first-order servo joints so reach episodes can
+be simulated all the way to the grasp posture: given a grasp-probability
+decision at some time before contact, did the hand close in time, and how
+far from the target posture was it at contact?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .grasps import GRASP_TYPES, joint_targets
+
+__all__ = ["ActuationModel", "ActuationOutcome"]
+
+
+@dataclass(frozen=True)
+class ActuationOutcome:
+    """Result of driving the hand toward a grasp posture."""
+
+    final_joints: np.ndarray
+    target_joints: np.ndarray
+    settle_time_ms: float
+    completed: bool
+
+    @property
+    def posture_error(self) -> float:
+        """Mean absolute joint error at contact, in closure units [0, 1]."""
+        return float(np.mean(np.abs(self.final_joints - self.target_joints)))
+
+
+class ActuationModel:
+    """First-order joint servos with rate limits.
+
+    Each joint approaches its target exponentially with time constant
+    ``tau_ms``, subject to a maximum closure rate — the standard coarse
+    model for tendon-driven prosthetic fingers.
+    """
+
+    def __init__(self, tau_ms: float = 90.0,
+                 max_rate_per_ms: float = 0.006,
+                 settle_tolerance: float = 0.05,
+                 dt_ms: float = 1.0):
+        if tau_ms <= 0 or max_rate_per_ms <= 0 or dt_ms <= 0:
+            raise ValueError("time constants and rates must be positive")
+        self.tau_ms = tau_ms
+        self.max_rate_per_ms = max_rate_per_ms
+        self.settle_tolerance = settle_tolerance
+        self.dt_ms = dt_ms
+
+    def drive(self, decision: np.ndarray, available_ms: float,
+              start_joints: np.ndarray | None = None) -> ActuationOutcome:
+        """Drive the hand toward the decision's expected posture.
+
+        Parameters
+        ----------
+        decision:
+            Grasp-probability distribution; the target posture is the
+            probability-weighted mixture of per-grasp joint targets.
+        available_ms:
+            Time between the decision and object contact.
+        start_joints:
+            Initial joint closures (defaults to fully open).
+        """
+        decision = np.asarray(decision, dtype=np.float64)
+        if decision.shape != (len(GRASP_TYPES),):
+            raise ValueError(
+                f"decision must have {len(GRASP_TYPES)} probabilities")
+        if available_ms < 0:
+            raise ValueError("available time must be non-negative")
+        target = joint_targets(decision)
+        joints = (np.zeros_like(target) if start_joints is None
+                  else np.asarray(start_joints, dtype=np.float64).copy())
+
+        settle_time = float("inf")
+        steps = int(available_ms / self.dt_ms)
+        alpha = 1.0 - np.exp(-self.dt_ms / self.tau_ms)
+        max_step = self.max_rate_per_ms * self.dt_ms
+        for step in range(steps):
+            delta = np.clip((target - joints) * alpha, -max_step, max_step)
+            joints = np.clip(joints + delta, 0.0, 1.0)
+            if (settle_time == float("inf")
+                    and np.max(np.abs(joints - target))
+                    < self.settle_tolerance):
+                settle_time = (step + 1) * self.dt_ms
+        completed = settle_time <= available_ms
+        return ActuationOutcome(joints, target,
+                                settle_time if completed else float("inf"),
+                                completed)
+
+    def required_time_ms(self, decision: np.ndarray,
+                         start_joints: np.ndarray | None = None,
+                         horizon_ms: float = 2000.0) -> float:
+        """Time the hand needs to settle on the decision's posture."""
+        outcome = self.drive(decision, horizon_ms, start_joints)
+        if not outcome.completed:
+            return float("inf")
+        return outcome.settle_time_ms

@@ -1,0 +1,68 @@
+"""Probability fusion of the EMG and visual classifiers (paper §III-A).
+
+Both classifiers emit probability distributions over the five grasp types
+(rather than one-hot decisions) precisely so they can be fused; the robot
+additionally fuses *several consecutive* predictions during the reach to
+add reliability, which is what tightens the visual classifier's deadline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["fuse_product", "fuse_weighted", "fuse_sequence", "entropy"]
+
+_EPS = 1e-12
+
+
+def entropy(p: np.ndarray) -> np.ndarray:
+    """Shannon entropy of distributions along the last axis (nats)."""
+    p = np.asarray(p, dtype=np.float64)
+    return -np.sum(p * np.log(p + _EPS), axis=-1)
+
+
+def fuse_product(*distributions: np.ndarray) -> np.ndarray:
+    """Independent-evidence (product) fusion with renormalisation.
+
+    The standard Bayesian combination for conditionally independent
+    classifiers with uniform priors.
+    """
+    if not distributions:
+        raise ValueError("need at least one distribution")
+    log_sum = sum(np.log(np.asarray(d, dtype=np.float64) + _EPS)
+                  for d in distributions)
+    log_sum -= log_sum.max(axis=-1, keepdims=True)
+    out = np.exp(log_sum)
+    return out / out.sum(axis=-1, keepdims=True)
+
+
+def fuse_weighted(distributions: list[np.ndarray],
+                  weights: list[float]) -> np.ndarray:
+    """Convex (mixture) fusion — robust when one source is unreliable."""
+    if len(distributions) != len(weights):
+        raise ValueError("one weight per distribution required")
+    total = float(sum(weights))
+    if total <= 0:
+        raise ValueError("weights must sum to a positive value")
+    out = sum(w / total * np.asarray(d, dtype=np.float64)
+              for d, w in zip(distributions, weights))
+    return out / out.sum(axis=-1, keepdims=True)
+
+
+def fuse_sequence(predictions: np.ndarray,
+                  discount: float = 1.0) -> np.ndarray:
+    """Fuse consecutive per-frame predictions of one reach.
+
+    ``predictions`` is (frames, classes); older frames can be discounted
+    geometrically (``discount < 1``) to favour recent evidence as the hand
+    closes in on the object. Returns the fused distribution.
+    """
+    p = np.asarray(predictions, dtype=np.float64)
+    if p.ndim != 2:
+        raise ValueError("predictions must be (frames, classes)")
+    n = p.shape[0]
+    weights = discount ** np.arange(n - 1, -1, -1)
+    log_sum = (weights[:, None] * np.log(p + _EPS)).sum(axis=0)
+    log_sum -= log_sum.max()
+    out = np.exp(log_sum)
+    return out / out.sum()

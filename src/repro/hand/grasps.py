@@ -1,0 +1,60 @@
+"""Grasp-type definitions for the robotic prosthetic hand.
+
+The five grasp types of the HANDS dataset, in the paper's order, plus the
+finger-joint actuation targets used by the control-loop simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["GRASP_TYPES", "GraspType", "grasp_by_name", "joint_targets"]
+
+
+@dataclass(frozen=True)
+class GraspType:
+    """One grasp posture with a coarse 5-DoF joint target.
+
+    Joint values are normalised closures in [0, 1] for
+    (thumb, index, middle, ring, pinky).
+    """
+
+    index: int
+    name: str
+    joints: tuple[float, float, float, float, float]
+
+
+GRASP_TYPES: list[GraspType] = [
+    GraspType(0, "open_palm", (0.0, 0.0, 0.0, 0.0, 0.0)),
+    GraspType(1, "medium_wrap", (0.6, 0.7, 0.7, 0.7, 0.7)),
+    GraspType(2, "power_sphere", (0.5, 0.5, 0.5, 0.5, 0.5)),
+    GraspType(3, "parallel_extension", (0.3, 0.2, 0.2, 0.2, 0.2)),
+    GraspType(4, "palmar_pinch", (0.8, 0.8, 0.1, 0.0, 0.0)),
+]
+
+_BY_NAME = {g.name: g for g in GRASP_TYPES}
+
+
+def grasp_by_name(name: str) -> GraspType:
+    """Look up a grasp type by its canonical name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(f"unknown grasp {name!r}; "
+                       f"available: {sorted(_BY_NAME)}") from None
+
+
+def joint_targets(distribution: np.ndarray) -> np.ndarray:
+    """Expected joint closure under a grasp-probability distribution.
+
+    The actuation unit drives toward the probability-weighted mixture of
+    the per-grasp joint targets, which is how probabilistic fusion output
+    turns into a single motor command.
+    """
+    dist = np.asarray(distribution, dtype=np.float64)
+    if dist.shape[-1] != len(GRASP_TYPES):
+        raise ValueError(f"expected {len(GRASP_TYPES)} grasp probabilities")
+    joints = np.array([g.joints for g in GRASP_TYPES])
+    return dist @ joints

@@ -1,0 +1,29 @@
+"""Evaluation metrics: angular similarity and Pareto-frontier analysis."""
+
+from .angular import (
+    angular_distance,
+    angular_similarity,
+    bhattacharyya_angle,
+    mean_angular_similarity,
+)
+from .pareto import (
+    CandidatePoint,
+    accuracy_gap,
+    best_under_deadline,
+    dominates,
+    pareto_frontier,
+    relative_improvement,
+)
+
+__all__ = [
+    "angular_distance",
+    "angular_similarity",
+    "bhattacharyya_angle",
+    "mean_angular_similarity",
+    "CandidatePoint",
+    "dominates",
+    "pareto_frontier",
+    "best_under_deadline",
+    "accuracy_gap",
+    "relative_improvement",
+]

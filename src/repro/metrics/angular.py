@@ -1,0 +1,54 @@
+"""Angular similarity between probability distributions.
+
+Because the HANDS labels are distributions rather than one-hot vectors,
+top-1 accuracy is meaningless; the paper (following Zandigohar et al., 2020)
+scores the visual classifier with *angular similarity*: the cosine angle
+between predicted and target distributions mapped to [0, 1], where 1 means
+identical direction and 0 means orthogonal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["angular_distance", "angular_similarity", "mean_angular_similarity",
+           "bhattacharyya_angle"]
+
+_EPS = 1e-12
+
+
+def angular_distance(p: np.ndarray, q: np.ndarray) -> np.ndarray:
+    """Normalised angle between distribution vectors, in [0, 1].
+
+    ``0`` means identical direction; ``1`` means the maximal angle (π/2 for
+    non-negative vectors, normalised by it).
+    """
+    p = np.asarray(p, dtype=np.float64)
+    q = np.asarray(q, dtype=np.float64)
+    num = np.sum(p * q, axis=-1)
+    den = np.linalg.norm(p, axis=-1) * np.linalg.norm(q, axis=-1) + _EPS
+    cos = np.clip(num / den, -1.0, 1.0)
+    return np.arccos(cos) / (np.pi / 2)
+
+
+def angular_similarity(p: np.ndarray, q: np.ndarray) -> np.ndarray:
+    """``1 - angular_distance``: 1 for identical distributions."""
+    return 1.0 - angular_distance(p, q)
+
+
+def mean_angular_similarity(pred: np.ndarray, target: np.ndarray) -> float:
+    """Batch-mean angular similarity — the paper's accuracy metric."""
+    return float(np.mean(angular_similarity(pred, target)))
+
+
+def bhattacharyya_angle(p: np.ndarray, q: np.ndarray) -> np.ndarray:
+    """Bhattacharyya angle ``arccos(Σ√(p·q))`` normalised to [0, 1].
+
+    An alternative distribution-aware distance, provided for ablation; it is
+    more sensitive to mass in small-probability classes than the cosine
+    angle.
+    """
+    p = np.clip(np.asarray(p, dtype=np.float64), 0.0, None)
+    q = np.clip(np.asarray(q, dtype=np.float64), 0.0, None)
+    bc = np.clip(np.sum(np.sqrt(p * q), axis=-1), 0.0, 1.0)
+    return np.arccos(bc) / (np.pi / 2)

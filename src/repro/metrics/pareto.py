@@ -1,0 +1,77 @@
+"""Pareto-frontier analysis of the latency/accuracy trade-off.
+
+This implements the machinery behind the paper's Figures 1, 6 and 7: which
+candidate networks are dominated, what the frontier looks like, how large
+the accuracy gap at a deadline is, and by how much trimmed networks improve
+on the best off-the-shelf network under the same deadline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CandidatePoint", "dominates", "pareto_frontier",
+           "best_under_deadline", "accuracy_gap", "relative_improvement"]
+
+
+@dataclass(frozen=True)
+class CandidatePoint:
+    """One network in the trade-off space."""
+
+    name: str
+    latency_ms: float
+    accuracy: float
+
+    def meets(self, deadline_ms: float) -> bool:
+        """Whether this candidate meets the deadline."""
+        return self.latency_ms <= deadline_ms
+
+
+def dominates(a: CandidatePoint, b: CandidatePoint) -> bool:
+    """True when ``a`` is at least as fast and as accurate as ``b`` and
+    strictly better in at least one dimension."""
+    return (a.latency_ms <= b.latency_ms and a.accuracy >= b.accuracy
+            and (a.latency_ms < b.latency_ms or a.accuracy > b.accuracy))
+
+
+def pareto_frontier(points: list[CandidatePoint]) -> list[CandidatePoint]:
+    """Non-dominated subset, sorted by latency ascending.
+
+    Ties in latency keep only the most accurate candidate.
+    """
+    ordered = sorted(points, key=lambda p: (p.latency_ms, -p.accuracy))
+    frontier: list[CandidatePoint] = []
+    best_acc = -np.inf
+    for p in ordered:
+        if p.accuracy > best_acc:
+            frontier.append(p)
+            best_acc = p.accuracy
+    return frontier
+
+
+def best_under_deadline(points: list[CandidatePoint],
+                        deadline_ms: float) -> CandidatePoint | None:
+    """Most accurate candidate meeting the deadline, or ``None``."""
+    feasible = [p for p in points if p.meets(deadline_ms)]
+    if not feasible:
+        return None
+    return max(feasible, key=lambda p: (p.accuracy, -p.latency_ms))
+
+
+def accuracy_gap(points: list[CandidatePoint], deadline_ms: float) -> float:
+    """The paper's Fig. 1 "gap": accuracy lost by having to pick the best
+    feasible candidate instead of the best candidate overall."""
+    best = best_under_deadline(points, deadline_ms)
+    if best is None:
+        return float("nan")
+    return max(p.accuracy for p in points) - best.accuracy
+
+
+def relative_improvement(baseline: CandidatePoint,
+                         improved: CandidatePoint) -> float:
+    """Relative accuracy improvement in percent (the paper's 10.43%)."""
+    if baseline.accuracy <= 0:
+        raise ValueError("baseline accuracy must be positive")
+    return 100.0 * (improved.accuracy - baseline.accuracy) / baseline.accuracy

@@ -1,0 +1,28 @@
+"""NetCut: the deadline-aware exploration methodology (paper §V)."""
+
+from .accounting import CostComparison, ExplorationCost, compare_costs
+from .adapters import AnalyticalAdapter, OracleAdapter, ProfilerAdapter
+from .deploy import DeploymentArtifact, deploy
+from .algorithm import NetCutCandidate, NetCutResult, run_netcut
+from .margin import MarginAdapter, violation_rate
+from .explorer import Exploration, TRNRecord, explore_blockwise, explore_cutpoints
+
+__all__ = [
+    "run_netcut",
+    "deploy",
+    "DeploymentArtifact",
+    "NetCutCandidate",
+    "NetCutResult",
+    "ProfilerAdapter",
+    "AnalyticalAdapter",
+    "OracleAdapter",
+    "MarginAdapter",
+    "violation_rate",
+    "Exploration",
+    "TRNRecord",
+    "explore_blockwise",
+    "explore_cutpoints",
+    "ExplorationCost",
+    "CostComparison",
+    "compare_costs",
+]

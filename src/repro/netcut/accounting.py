@@ -1,0 +1,78 @@
+"""Exploration-time accounting (the paper's 95% / 27× claims).
+
+Compares the cost of blockwise exhaustive exploration (retrain all 148
+TRNs) against NetCut (retrain one TRN per base network): how many networks
+each trains and how many simulated Tesla-K20m GPU-hours each spends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .algorithm import NetCutResult
+from .explorer import Exploration
+
+__all__ = ["ExplorationCost", "CostComparison", "compare_costs"]
+
+
+@dataclass(frozen=True)
+class ExplorationCost:
+    """Cost of one exploration strategy."""
+
+    strategy: str
+    networks_trained: int
+    gpu_hours: float
+
+
+@dataclass(frozen=True)
+class CostComparison:
+    """Blockwise vs NetCut accounting."""
+
+    blockwise: ExplorationCost
+    netcut: ExplorationCost
+
+    @property
+    def network_reduction_pct(self) -> float:
+        """Percent fewer networks trained by NetCut (paper: 95%)."""
+        return 100.0 * (1.0 - self.netcut.networks_trained
+                        / self.blockwise.networks_trained)
+
+    @property
+    def speedup(self) -> float:
+        """Exploration-time speedup (paper: 27×)."""
+        if self.netcut.gpu_hours <= 0:
+            raise ValueError("NetCut GPU-hours must be positive")
+        return self.blockwise.gpu_hours / self.netcut.gpu_hours
+
+    def summary(self) -> str:
+        """Human-readable comparison in the paper's terms."""
+        return (
+            f"blockwise: {self.blockwise.networks_trained} networks, "
+            f"{self.blockwise.gpu_hours:.1f} GPU-h | "
+            f"NetCut: {self.netcut.networks_trained} networks, "
+            f"{self.netcut.gpu_hours:.1f} GPU-h | "
+            f"{self.network_reduction_pct:.0f}% fewer networks, "
+            f"{self.speedup:.1f}x faster")
+
+
+def compare_costs(exploration: Exploration,
+                  *netcut_results: NetCutResult) -> CostComparison:
+    """Account blockwise exploration against one or more NetCut runs.
+
+    Passing several NetCut runs (e.g. profiler-based and analytical, as the
+    paper does — "only training 9 additional networks") sums their costs,
+    counting each distinct retrained TRN once.
+    """
+    trained: dict[str, float] = {}
+    for result in netcut_results:
+        for cand in result.candidates:
+            if cand.feasible:
+                trained.setdefault(cand.trn_name, cand.train_hours)
+    # exclude the untrimmed originals from the blockwise count: the paper's
+    # 148 counts trimmed candidates (the originals exist before exploration)
+    trimmed = [r for r in exploration.records if r.blocks_removed != 0]
+    blockwise = ExplorationCost("blockwise", len(trimmed),
+                                sum(r.train_hours for r in trimmed))
+    netcut = ExplorationCost("netcut", len(trained),
+                             sum(trained.values()))
+    return CostComparison(blockwise, netcut)

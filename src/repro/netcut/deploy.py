@@ -1,0 +1,107 @@
+"""End-to-end deployment pipeline: from deadline to a shippable artifact.
+
+This is the glue a user of the methodology actually wants: run Algorithm 1,
+*validate* the winner's measured latency against the deadline (falling back
+to the next-best candidate when estimator error put the winner over),
+retrain its head, graft the weights into the full TRN, optionally quantize,
+and serialise the result to a single ``.npz``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.synthetic import Dataset
+from repro.device.quantize import QuantizedNetwork, calibration_split
+from repro.device.runtime import measure_latency
+from repro.metrics.angular import mean_angular_similarity
+from repro.nn.graph import Network
+from repro.nn.serialize import save_network
+from repro.train.features import record_gap_features
+from repro.train.trainer import train_head_on_features, transplant_head
+from repro.trim.blocks import block_boundaries
+
+__all__ = ["DeploymentArtifact", "deploy"]
+
+
+@dataclass
+class DeploymentArtifact:
+    """A validated, trained, optionally quantized TRN ready to ship."""
+
+    network: Network
+    trn_name: str
+    base_name: str
+    measured_latency_ms: float
+    accuracy: float
+    deadline_ms: float
+    quantized: QuantizedNetwork | None = None
+    int8_accuracy: float = float("nan")
+    path: str | None = None
+
+    @property
+    def meets_deadline(self) -> bool:
+        return self.measured_latency_ms <= self.deadline_ms
+
+
+def deploy(workbench, deadline_ms: float | None = None,
+           estimator: str = "profiler", quantize: bool = True,
+           save_path: str | None = None) -> DeploymentArtifact:
+    """Run the full pipeline on a :class:`repro.experiments.Workbench`.
+
+    Steps: Algorithm 1 → measured-latency validation → head retraining on
+    the full training split → weight transplant → (optional) INT8
+    quantization with a 10% calibration split → (optional) serialisation.
+
+    Raises ``RuntimeError`` when no candidate's *measured* latency meets
+    the deadline.
+    """
+    deadline = (deadline_ms if deadline_ms is not None
+                else workbench.config.deadline_ms)
+    result = workbench.netcut(estimator, deadline_ms=deadline)
+    validated = [c for c in result.candidates
+                 if c.feasible and c.measured_latency_ms is not None
+                 and c.measured_latency_ms <= deadline]
+    if not validated:
+        raise RuntimeError(
+            f"no candidate's measured latency meets {deadline} ms")
+    best = max(validated, key=lambda c: c.accuracy)
+
+    base = workbench.base(best.base_name)
+    cut_node = (best.cutpoint.cut_node if best.cutpoint
+                else block_boundaries(base)[-1].output_node)
+    train_data, test_data = workbench.hands()
+    feats_train = record_gap_features(base, train_data.x, [cut_node])
+    head = train_head_on_features(
+        feats_train[cut_node], train_data.y, workbench.config.num_classes,
+        epochs=workbench.config.head_epochs,
+        rng=workbench.config.seed).network
+
+    trn = workbench.transfer_model(best.base_name, best.cutpoint)
+    transplant_head(head, trn)
+    measured = measure_latency(trn, workbench.device).mean_ms
+    accuracy = mean_angular_similarity(_predict(trn, test_data),
+                                       test_data.y)
+
+    artifact = DeploymentArtifact(trn, best.trn_name, best.base_name,
+                                  measured, accuracy, deadline)
+    if quantize:
+        calib_idx = calibration_split(len(train_data), 0.1,
+                                      rng=workbench.config.seed)
+        artifact.quantized = QuantizedNetwork(trn,
+                                              train_data.x[calib_idx])
+        q_pred = artifact.quantized.forward(test_data.x)
+        artifact.int8_accuracy = mean_angular_similarity(q_pred,
+                                                         test_data.y)
+    if save_path is not None:
+        save_network(trn, save_path)
+        artifact.path = save_path
+    return artifact
+
+
+def _predict(net: Network, data: Dataset, batch_size: int = 128
+             ) -> np.ndarray:
+    outs = [net.forward(data.x[s:s + batch_size])
+            for s in range(0, len(data), batch_size)]
+    return np.concatenate(outs)

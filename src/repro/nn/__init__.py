@@ -1,0 +1,63 @@
+"""A compact NumPy deep-learning framework.
+
+This subpackage is the substrate that stands in for PyTorch/TensorFlow in
+this reproduction: NHWC convolutional layers with full backpropagation,
+DAG-structured networks (residual/concat topologies), soft-label losses and
+first-order optimizers. It is deliberately small but complete enough to
+pretrain, trim and fine-tune every architecture in :mod:`repro.zoo`.
+"""
+
+from . import functional
+from .graph import Network, Node
+from .layers import (
+    Add,
+    AvgPool2D,
+    BatchNorm,
+    Concat,
+    Conv2D,
+    Dense,
+    DepthwiseConv2D,
+    Dropout,
+    Flatten,
+    GlobalAvgPool,
+    Input,
+    Layer,
+    MaxPool2D,
+    Parameter,
+    ReLU,
+    ReLU6,
+    Softmax,
+)
+from .losses import cross_entropy_from_probs, kl_divergence, mse, softmax_cross_entropy
+from .optim import SGD, Adam, ConstantLR, StepDecay
+
+__all__ = [
+    "functional",
+    "Network",
+    "Node",
+    "Layer",
+    "Parameter",
+    "Input",
+    "Conv2D",
+    "DepthwiseConv2D",
+    "Dense",
+    "BatchNorm",
+    "ReLU",
+    "ReLU6",
+    "MaxPool2D",
+    "AvgPool2D",
+    "GlobalAvgPool",
+    "Flatten",
+    "Dropout",
+    "Softmax",
+    "Add",
+    "Concat",
+    "softmax_cross_entropy",
+    "cross_entropy_from_probs",
+    "kl_divergence",
+    "mse",
+    "SGD",
+    "Adam",
+    "ConstantLR",
+    "StepDecay",
+]

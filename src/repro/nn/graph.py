@@ -1,0 +1,380 @@
+"""Network graphs: directed acyclic graphs of named layers.
+
+A :class:`Network` is built by adding named nodes in topological order. Each
+node wraps a :class:`~repro.nn.layers.Layer` and lists its input nodes by
+name, which supports the residual (``Add``) and concatenation (``Concat``)
+topologies used by the model zoo.
+
+Nodes carry metadata used throughout the repository:
+
+- ``block_id`` groups layers into the architectural blocks (residual blocks,
+  inception modules, ...) that blockwise layer removal operates on.
+- ``role`` is one of ``"stem"``, ``"feature"`` or ``"head"``; layer removal
+  only ever removes ``"feature"`` blocks and replaces the ``"head"``.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .layers import Input, Layer
+
+__all__ = ["Node", "Network"]
+
+Shape = tuple[int, ...]
+
+
+@dataclass
+class Node:
+    """A named layer instance inside a :class:`Network`."""
+
+    name: str
+    layer: Layer
+    inputs: list[str] = field(default_factory=list)
+    block_id: str | None = None
+    role: str = "feature"
+
+
+class Network:
+    """A DAG of layers with forward/backward execution and static analysis.
+
+    Nodes must be added in topological order (inputs before consumers); the
+    zoo constructors do this naturally. The last node added is the network
+    output unless :attr:`output_name` is reassigned.
+    """
+
+    def __init__(self, name: str, input_shape: Shape):
+        self.name = name
+        self.input_shape = tuple(input_shape)
+        self.nodes: dict[str, Node] = {}
+        self.output_name: str | None = None
+        self._shapes: dict[str, Shape] = {}
+        self.add("input", Input(self.input_shape), inputs=[], role="stem")
+
+    # -- construction ------------------------------------------------------
+    def add(self, name: str, layer: Layer, inputs: list[str] | str | None = None,
+            block_id: str | None = None, role: str = "feature") -> str:
+        """Add a node and return its name.
+
+        ``inputs`` defaults to the previously added node, which makes
+        sequential construction concise.
+        """
+        if name in self.nodes:
+            raise ValueError(f"duplicate node name {name!r}")
+        if role not in ("stem", "feature", "head"):
+            raise ValueError(f"unknown role {role!r}")
+        if inputs is None:
+            if not self.nodes:
+                inputs = []
+            else:
+                inputs = [self.output_name]
+        elif isinstance(inputs, str):
+            inputs = [inputs]
+        for dep in inputs:
+            if dep not in self.nodes:
+                raise ValueError(f"node {name!r} depends on unknown node {dep!r}")
+        self.nodes[name] = Node(name, layer, list(inputs), block_id, role)
+        self.output_name = name
+        return name
+
+    def build(self, rng: np.random.Generator | int = 0) -> "Network":
+        """Infer shapes and allocate all parameters. Returns ``self``."""
+        if isinstance(rng, (int, np.integer)):
+            rng = np.random.default_rng(int(rng))
+        self._shapes = {}
+        for node in self.nodes.values():
+            in_shapes = [self._shapes[d] for d in node.inputs]
+            if not isinstance(node.layer, Input):
+                node.layer.build(in_shapes, rng)
+            self._shapes[node.name] = node.layer.out_shape(
+                in_shapes if in_shapes else [self.input_shape])
+        return self
+
+    @property
+    def built(self) -> bool:
+        """Whether :meth:`build` has been called."""
+        return bool(self._shapes)
+
+    def shape_of(self, name: str) -> Shape:
+        """Output shape (batch excluded) of a node; requires :meth:`build`."""
+        if not self._shapes:
+            raise RuntimeError("network is not built; call build() first")
+        return self._shapes[name]
+
+    # -- execution ---------------------------------------------------------
+    def forward(self, x: np.ndarray, training: bool = False,
+                capture: list[str] | None = None):
+        """Run the network on a batch.
+
+        Parameters
+        ----------
+        x:
+            Input batch, shape ``(N,) + input_shape``.
+        training:
+            Propagated to layers (batch-norm statistics, dropout).
+        capture:
+            Optional list of node names whose activations to also return.
+
+        Returns
+        -------
+        The output activation, or ``(output, {name: activation})`` when
+        ``capture`` is given.
+        """
+        if not self._shapes:
+            raise RuntimeError("network is not built; call build() first")
+        acts: dict[str, np.ndarray] = {}
+        consumers = self._consumer_counts()
+        wanted = set(capture or [])
+        for node in self.nodes.values():
+            ins = [acts[d] for d in node.inputs] if node.inputs else [x]
+            acts[node.name] = node.layer.forward(ins, training=training)
+            # free activations no longer needed to bound memory
+            for d in node.inputs:
+                consumers[d] -= 1
+                if consumers[d] == 0 and d not in wanted and d != self.output_name:
+                    acts.pop(d, None)
+        out = acts[self.output_name]
+        if capture is not None:
+            return out, {k: acts[k] for k in capture}
+        return out
+
+    def _consumer_counts(self) -> dict[str, int]:
+        counts = {name: 0 for name in self.nodes}
+        for node in self.nodes.values():
+            for d in node.inputs:
+                counts[d] += 1
+        return counts
+
+    def forward_backward(self, x: np.ndarray, grad_out: np.ndarray | None = None,
+                         loss_fn=None, y: np.ndarray | None = None,
+                         training: bool = True):
+        """Full forward pass followed by backpropagation.
+
+        Either supply ``grad_out`` (gradient of the loss w.r.t. the network
+        output) directly, or a ``loss_fn(pred, y) -> (loss, grad)`` pair.
+
+        Returns ``(output, loss)`` where ``loss`` is ``None`` when
+        ``grad_out`` was supplied.
+        """
+        if not self._shapes:
+            raise RuntimeError("network is not built; call build() first")
+        acts: dict[str, np.ndarray] = {}
+        order = list(self.nodes.values())
+        for node in order:
+            ins = [acts[d] for d in node.inputs] if node.inputs else [x]
+            acts[node.name] = node.layer.forward(ins, training=training)
+        out = acts[self.output_name]
+        loss = None
+        if grad_out is None:
+            if loss_fn is None or y is None:
+                raise ValueError("need grad_out or (loss_fn, y)")
+            loss, grad_out = loss_fn(out, y)
+        grads: dict[str, np.ndarray] = {self.output_name: grad_out}
+        for node in reversed(order):
+            g = grads.pop(node.name, None)
+            if g is None:
+                continue
+            in_grads = node.layer.backward(g)
+            for dep, dg in zip(node.inputs, in_grads):
+                if dep in grads:
+                    grads[dep] = grads[dep] + dg
+                else:
+                    grads[dep] = dg
+        return out, loss
+
+    # -- parameters ---------------------------------------------------------
+    def parameters(self, trainable_only: bool = True):
+        """Yield ``(qualified_name, Parameter)`` pairs."""
+        for node in self.nodes.values():
+            if trainable_only and node.layer.frozen:
+                continue
+            for pname, p in node.layer.params.items():
+                yield f"{node.name}.{pname}", p
+
+    def zero_grad(self) -> None:
+        """Reset every parameter gradient."""
+        for node in self.nodes.values():
+            node.layer.zero_grad()
+
+    def freeze(self, predicate=None) -> None:
+        """Freeze layers matched by ``predicate(node) -> bool`` (default all)."""
+        for node in self.nodes.values():
+            if predicate is None or predicate(node):
+                node.layer.frozen = True
+
+    def unfreeze(self, predicate=None) -> None:
+        """Unfreeze layers matched by ``predicate`` (default all)."""
+        for node in self.nodes.values():
+            if predicate is None or predicate(node):
+                node.layer.frozen = False
+
+    # -- static analysis ----------------------------------------------------
+    def in_shapes(self, name: str) -> list[Shape]:
+        """Input shapes of a node (the network input shape for the root)."""
+        node = self.nodes[name]
+        if not node.inputs:
+            return [self.input_shape]
+        return [self.shape_of(d) for d in node.inputs]
+
+    def total_flops(self) -> int:
+        """Per-example forward FLOPs of the whole network."""
+        return sum(node.layer.flops(self.in_shapes(node.name))
+                   for node in self.nodes.values())
+
+    def total_params(self) -> int:
+        """Total trainable scalar count."""
+        return sum(node.layer.param_count() for node in self.nodes.values())
+
+    def layer_count(self, roles: tuple[str, ...] = ("stem", "feature", "head")) -> int:
+        """Number of weighted layers (conv/dense), the paper's depth metric."""
+        count = 0
+        for node in self.nodes.values():
+            if node.role in roles and type(node.layer).__name__ in (
+                    "Conv2D", "DepthwiseConv2D", "Dense"):
+                count += 1
+        return count
+
+    def block_ids(self) -> list[str]:
+        """Distinct feature block ids in topological order."""
+        seen: list[str] = []
+        for node in self.nodes.values():
+            if node.role == "feature" and node.block_id is not None \
+                    and node.block_id not in seen:
+                seen.append(node.block_id)
+        return seen
+
+    def describe(self) -> str:
+        """Human-readable layer table (name, type, block, shape, params)."""
+        lines = [f"Network {self.name!r}  input={self.input_shape}",
+                 f"{'name':28s} {'type':16s} {'block':12s} {'out shape':16s} {'params':>10s}"]
+        for node in self.nodes.values():
+            shape = str(self.shape_of(node.name)) if self._shapes else "?"
+            lines.append(
+                f"{node.name:28s} {type(node.layer).__name__:16s} "
+                f"{str(node.block_id):12s} {shape:16s} "
+                f"{node.layer.param_count():>10d}")
+        lines.append(f"total params: {self.total_params():,}  "
+                     f"flops/example: {self.total_flops():,}")
+        return "\n".join(lines)
+
+    def to_dot(self) -> str:
+        """Graphviz DOT source of the network's topology.
+
+        Nodes are grouped into clusters by ``block_id``; stem, feature and
+        head roles get distinct fill colours. Render with
+        ``dot -Tsvg net.dot -o net.svg``.
+        """
+        colors = {"stem": "lightblue", "feature": "white",
+                  "head": "lightyellow"}
+        lines = [f'digraph "{self.name}" {{',
+                 "  rankdir=TB;",
+                 "  node [shape=box, style=filled];"]
+        by_block: dict[str, list[Node]] = {}
+        loose: list[Node] = []
+        for node in self.nodes.values():
+            if node.block_id is not None:
+                by_block.setdefault(node.block_id, []).append(node)
+            else:
+                loose.append(node)
+
+        def node_line(node: Node) -> str:
+            shape = (f"\\n{self.shape_of(node.name)}"
+                     if self._shapes else "")
+            return (f'    "{node.name}" '
+                    f'[label="{node.name}\\n{type(node.layer).__name__}'
+                    f'{shape}", fillcolor={colors[node.role]}];')
+
+        for block, nodes in by_block.items():
+            lines.append(f'  subgraph "cluster_{block}" {{')
+            lines.append(f'    label="{block}";')
+            lines.extend(node_line(n) for n in nodes)
+            lines.append("  }")
+        lines.extend("  " + node_line(n).strip() for n in loose)
+        for node in self.nodes.values():
+            for dep in node.inputs:
+                lines.append(f'  "{dep}" -> "{node.name}";')
+        lines.append("}")
+        return "\n".join(lines)
+
+    # -- structural edits & persistence --------------------------------------
+    def copy(self) -> "Network":
+        """Deep copy: new layer objects, independent parameters."""
+        clone = Network.__new__(Network)
+        clone.name = self.name
+        clone.input_shape = self.input_shape
+        clone.output_name = self.output_name
+        clone._shapes = dict(self._shapes)
+        clone.nodes = {}
+        for name, node in self.nodes.items():
+            clone.nodes[name] = Node(node.name, copy.deepcopy(node.layer),
+                                     list(node.inputs), node.block_id, node.role)
+        return clone
+
+    def subgraph(self, upto: str, name: str | None = None) -> "Network":
+        """Deep-copied prefix of the network ending at node ``upto``.
+
+        Only nodes that ``upto`` (transitively) depends on are retained. Used
+        by layer removal to build trimmed feature extractors.
+        """
+        if upto not in self.nodes:
+            raise KeyError(f"no node named {upto!r}")
+        needed: set[str] = set()
+        stack = [upto]
+        while stack:
+            cur = stack.pop()
+            if cur in needed:
+                continue
+            needed.add(cur)
+            stack.extend(self.nodes[cur].inputs)
+        clone = Network.__new__(Network)
+        clone.name = name or f"{self.name}[:{upto}]"
+        clone.input_shape = self.input_shape
+        clone.nodes = {}
+        for nname, node in self.nodes.items():
+            if nname in needed:
+                clone.nodes[nname] = Node(node.name, copy.deepcopy(node.layer),
+                                          list(node.inputs), node.block_id,
+                                          node.role)
+        clone.output_name = upto
+        clone._shapes = {k: v for k, v in self._shapes.items() if k in needed}
+        return clone
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Flat mapping of every parameter and batch-norm running statistic."""
+        state: dict[str, np.ndarray] = {}
+        for node in self.nodes.values():
+            for pname, p in node.layer.params.items():
+                state[f"{node.name}.{pname}"] = p.value.copy()
+            if hasattr(node.layer, "running_mean") and node.layer.running_mean is not None:
+                state[f"{node.name}.running_mean"] = node.layer.running_mean.copy()
+                state[f"{node.name}.running_var"] = node.layer.running_var.copy()
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray],
+                        strict: bool = True) -> None:
+        """Load parameters saved by :meth:`state_dict`.
+
+        With ``strict=False``, keys that do not exist in this network are
+        ignored (used when loading pretrained weights into a trimmed net).
+        """
+        for node in self.nodes.values():
+            for pname, p in node.layer.params.items():
+                key = f"{node.name}.{pname}"
+                if key in state:
+                    if p.value.shape != state[key].shape:
+                        raise ValueError(
+                            f"shape mismatch for {key}: "
+                            f"{p.value.shape} vs {state[key].shape}")
+                    p.value = state[key].astype(np.float32).copy()
+                elif strict:
+                    raise KeyError(f"missing parameter {key}")
+            if hasattr(node.layer, "running_mean") and node.layer.running_mean is not None:
+                mkey = f"{node.name}.running_mean"
+                if mkey in state:
+                    node.layer.running_mean = state[mkey].copy()
+                    node.layer.running_var = state[f"{node.name}.running_var"].copy()
+                elif strict:
+                    raise KeyError(f"missing statistic {mkey}")

@@ -1,0 +1,63 @@
+"""Loss functions.
+
+Each loss returns ``(scalar_loss, grad)`` where ``grad`` is the gradient with
+respect to the *first* argument, averaged over the batch, so it can be fed
+straight into :meth:`repro.nn.graph.Network.forward_backward`.
+
+The HANDS-style datasets use *probabilistic* labels (a distribution over
+grasp types rather than a one-hot vector), so the primary training loss is
+the soft-label cross-entropy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .functional import softmax
+
+__all__ = [
+    "softmax_cross_entropy",
+    "cross_entropy_from_probs",
+    "kl_divergence",
+    "mse",
+]
+
+_EPS = 1e-12
+
+
+def softmax_cross_entropy(logits: np.ndarray,
+                          targets: np.ndarray) -> tuple[float, np.ndarray]:
+    """Cross-entropy between softmax(logits) and soft targets.
+
+    Combines the softmax with the loss so the gradient is the numerically
+    stable ``(p - y) / N``. ``targets`` rows must sum to 1 but need not be
+    one-hot.
+    """
+    p = softmax(logits)
+    n = logits.shape[0]
+    loss = float(-np.sum(targets * np.log(p + _EPS)) / n)
+    return loss, (p - targets) / n
+
+
+def cross_entropy_from_probs(probs: np.ndarray,
+                             targets: np.ndarray) -> tuple[float, np.ndarray]:
+    """Cross-entropy when the model already outputs probabilities."""
+    n = probs.shape[0]
+    loss = float(-np.sum(targets * np.log(probs + _EPS)) / n)
+    return loss, -(targets / (probs + _EPS)) / n
+
+
+def kl_divergence(probs: np.ndarray,
+                  targets: np.ndarray) -> tuple[float, np.ndarray]:
+    """KL(targets || probs) for probability outputs."""
+    n = probs.shape[0]
+    loss = float(np.sum(targets * (np.log(targets + _EPS)
+                                   - np.log(probs + _EPS))) / n)
+    return loss, -(targets / (probs + _EPS)) / n
+
+
+def mse(pred: np.ndarray, targets: np.ndarray) -> tuple[float, np.ndarray]:
+    """Mean squared error."""
+    diff = pred - targets
+    n = pred.shape[0]
+    return float(np.sum(diff * diff) / n), 2.0 * diff / n

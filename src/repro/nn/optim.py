@@ -1,0 +1,118 @@
+"""Optimizers and learning-rate schedules.
+
+Optimizers operate on the ``(name, Parameter)`` pairs yielded by
+:meth:`repro.nn.graph.Network.parameters`; per-parameter state is keyed by
+the qualified name so freezing/unfreezing layers between phases (the paper's
+two-phase fine-tuning) does not lose momentum for layers that stay trainable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SGD", "Adam", "StepDecay", "ConstantLR"]
+
+
+class ConstantLR:
+    """A constant learning rate."""
+
+    def __init__(self, lr: float):
+        self.lr = float(lr)
+
+    def __call__(self, step: int) -> float:
+        return self.lr
+
+
+class StepDecay:
+    """Learning rate decayed by ``factor`` every ``every`` steps."""
+
+    def __init__(self, lr: float, every: int, factor: float = 0.1):
+        if every <= 0:
+            raise ValueError("`every` must be positive")
+        self.lr = float(lr)
+        self.every = int(every)
+        self.factor = float(factor)
+
+    def __call__(self, step: int) -> float:
+        return self.lr * (self.factor ** (step // self.every))
+
+
+class _Optimizer:
+    """Shared bookkeeping: step counter, schedule, weight decay."""
+
+    def __init__(self, lr, weight_decay: float = 0.0):
+        self.schedule = lr if callable(lr) else ConstantLR(lr)
+        self.weight_decay = float(weight_decay)
+        self.step_count = 0
+
+    @property
+    def lr(self) -> float:
+        """The learning rate that the *next* step will use."""
+        return self.schedule(self.step_count)
+
+    def set_lr(self, lr: float) -> None:
+        """Replace the schedule with a constant rate (phase switches)."""
+        self.schedule = ConstantLR(lr)
+
+    def step(self, params) -> None:
+        """Apply one update to every ``(name, Parameter)`` in ``params``."""
+        lr = self.schedule(self.step_count)
+        for name, p in params:
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.value
+            self._update(name, p, g, lr)
+        self.step_count += 1
+
+    def _update(self, name, p, g, lr):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class SGD(_Optimizer):
+    """Stochastic gradient descent with classical momentum."""
+
+    def __init__(self, lr: float = 1e-2, momentum: float = 0.9,
+                 weight_decay: float = 0.0):
+        super().__init__(lr, weight_decay)
+        self.momentum = float(momentum)
+        self._velocity: dict[str, np.ndarray] = {}
+
+    def _update(self, name, p, g, lr):
+        if self.momentum:
+            v = self._velocity.get(name)
+            if v is None or v.shape != g.shape:
+                v = np.zeros_like(g)
+            v = self.momentum * v - lr * g
+            self._velocity[name] = v
+            p.value += v
+        else:
+            p.value -= lr * g
+
+
+class Adam(_Optimizer):
+    """Adam with bias correction (Kingma & Ba, 2015)."""
+
+    def __init__(self, lr: float = 1e-3, beta1: float = 0.9,
+                 beta2: float = 0.999, eps: float = 1e-8,
+                 weight_decay: float = 0.0):
+        super().__init__(lr, weight_decay)
+        self.beta1, self.beta2, self.eps = beta1, beta2, eps
+        self._m: dict[str, np.ndarray] = {}
+        self._v: dict[str, np.ndarray] = {}
+        self._t: dict[str, int] = {}
+
+    def _update(self, name, p, g, lr):
+        m = self._m.get(name)
+        if m is None or m.shape != g.shape:
+            m = np.zeros_like(g)
+            self._v[name] = np.zeros_like(g)
+            self._t[name] = 0
+        v = self._v[name]
+        self._t[name] += 1
+        t = self._t[name]
+        m = self.beta1 * m + (1 - self.beta1) * g
+        v = self.beta2 * v + (1 - self.beta2) * (g * g)
+        self._m[name], self._v[name] = m, v
+        mhat = m / (1 - self.beta1 ** t)
+        vhat = v / (1 - self.beta2 ** t)
+        p.value -= lr * mhat / (np.sqrt(vhat) + self.eps)

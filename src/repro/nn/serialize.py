@@ -1,0 +1,155 @@
+"""Whole-network serialization: architecture + weights in one ``.npz``.
+
+The weight cache in :mod:`repro.train.pretrain` only stores parameters and
+relies on the code to rebuild the architecture; this module additionally
+persists the *structure* (layer types, constructor arguments, graph edges,
+block tags), so a trimmed-and-trained TRN can be shipped as a single file
+and reloaded without the code that produced it — the deployment story for
+the robotic hand.
+
+Format: a NumPy ``.npz`` whose ``__architecture__`` entry is a JSON string
+describing the graph and whose remaining entries are the parameter and
+batch-norm-statistic arrays keyed exactly as in
+:meth:`repro.nn.graph.Network.state_dict`.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from .graph import Network
+from .layers import (
+    Add,
+    AvgPool2D,
+    BatchNorm,
+    Concat,
+    Conv2D,
+    Dense,
+    DepthwiseConv2D,
+    Dropout,
+    Flatten,
+    GlobalAvgPool,
+    Input,
+    MaxPool2D,
+    ReLU,
+    ReLU6,
+    Softmax,
+)
+
+__all__ = ["save_network", "load_network", "architecture_dict"]
+
+
+def _conv_config(layer: Conv2D) -> dict:
+    return {"filters": layer.filters, "kernel": list(layer.kernel),
+            "stride": layer.stride, "padding": layer.padding,
+            "use_bias": layer.use_bias}
+
+
+def _dw_config(layer: DepthwiseConv2D) -> dict:
+    return {"kernel": list(layer.kernel), "stride": layer.stride,
+            "padding": layer.padding, "use_bias": layer.use_bias}
+
+
+def _dense_config(layer: Dense) -> dict:
+    return {"units": layer.units, "use_bias": layer.use_bias}
+
+
+def _bn_config(layer: BatchNorm) -> dict:
+    return {"momentum": layer.momentum, "eps": layer.eps}
+
+
+def _pool_config(layer) -> dict:
+    return {"pool": layer.pool, "stride": layer.stride,
+            "padding": layer.padding}
+
+
+def _dropout_config(layer: Dropout) -> dict:
+    return {"rate": layer.rate}
+
+
+_CONFIG_EXTRACTORS = {
+    Conv2D: _conv_config,
+    DepthwiseConv2D: _dw_config,
+    Dense: _dense_config,
+    BatchNorm: _bn_config,
+    MaxPool2D: _pool_config,
+    AvgPool2D: _pool_config,
+    Dropout: _dropout_config,
+}
+
+_PARAMLESS = {cls.__name__: cls for cls in
+              (ReLU, ReLU6, GlobalAvgPool, Flatten, Softmax, Add, Concat)}
+
+
+def _build_layer(type_name: str, config: dict):
+    if type_name in _PARAMLESS:
+        return _PARAMLESS[type_name]()
+    if type_name == "Conv2D":
+        return Conv2D(config["filters"], tuple(config["kernel"]),
+                      config["stride"], config["padding"],
+                      config["use_bias"])
+    if type_name == "DepthwiseConv2D":
+        return DepthwiseConv2D(tuple(config["kernel"]), config["stride"],
+                               config["padding"], config["use_bias"])
+    if type_name == "Dense":
+        return Dense(config["units"], config["use_bias"])
+    if type_name == "BatchNorm":
+        return BatchNorm(config["momentum"], config["eps"])
+    if type_name == "MaxPool2D":
+        return MaxPool2D(config["pool"], config["stride"], config["padding"])
+    if type_name == "AvgPool2D":
+        return AvgPool2D(config["pool"], config["stride"], config["padding"])
+    if type_name == "Dropout":
+        return Dropout(config["rate"])
+    raise ValueError(f"unknown layer type {type_name!r}")
+
+
+def architecture_dict(net: Network) -> dict:
+    """JSON-serialisable description of a network's structure."""
+    nodes = []
+    for node in net.nodes.values():
+        if isinstance(node.layer, Input):
+            continue
+        type_name = type(node.layer).__name__
+        extractor = _CONFIG_EXTRACTORS.get(type(node.layer))
+        if extractor is None and type_name not in _PARAMLESS:
+            raise ValueError(
+                f"layer type {type_name!r} is not serialisable")
+        nodes.append({
+            "name": node.name,
+            "type": type_name,
+            "config": extractor(node.layer) if extractor else {},
+            "inputs": list(node.inputs),
+            "block_id": node.block_id,
+            "role": node.role,
+        })
+    return {"name": net.name, "input_shape": list(net.input_shape),
+            "output": net.output_name, "nodes": nodes}
+
+
+def save_network(net: Network, path: str) -> None:
+    """Persist a built network (structure + weights) to ``path``."""
+    if not net.built:
+        raise RuntimeError("network must be built before saving")
+    arch = json.dumps(architecture_dict(net))
+    state = net.state_dict()
+    np.savez_compressed(path, __architecture__=np.array(arch), **state)
+
+
+def load_network(path: str) -> Network:
+    """Reconstruct a network saved by :func:`save_network`."""
+    with np.load(path) as archive:
+        arch = json.loads(str(archive["__architecture__"]))
+        state = {k: archive[k] for k in archive.files
+                 if k != "__architecture__"}
+    net = Network(arch["name"], tuple(arch["input_shape"]))
+    for spec in arch["nodes"]:
+        net.add(spec["name"], _build_layer(spec["type"], spec["config"]),
+                inputs=spec["inputs"], block_id=spec["block_id"],
+                role=spec["role"])
+    net.output_name = arch["output"]
+    net.build(0)
+    net.load_state_dict(state)
+    return net

@@ -1,0 +1,56 @@
+"""One-pass feature recording for fast TRN sweeps.
+
+Retraining a TRN starts (phase 1 of the paper's recipe) with the pretrained
+feature extractor *frozen* and only the new head training. For a frozen
+extractor the features at every candidate cutpoint can be recorded in a
+single forward pass over the dataset per base network — the GAP of each
+cutpoint node's activation — after which training a head per cutpoint is a
+small dense-network problem. This is what makes evaluating all 148 blockwise
+TRNs (and the 289 iterative InceptionV3 TRNs of Fig. 4) tractable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.graph import Network
+
+__all__ = ["record_gap_features"]
+
+
+def record_gap_features(net: Network, x: np.ndarray,
+                        node_names: list[str],
+                        batch_size: int = 64) -> dict[str, np.ndarray]:
+    """GAP features of every requested node over a dataset.
+
+    Parameters
+    ----------
+    net:
+        Built network with pretrained weights.
+    x:
+        Images, shape ``(N, H, W, C)``.
+    node_names:
+        Cutpoint nodes whose features to record.
+    batch_size:
+        Forward-pass batch size (bounds peak memory).
+
+    Returns
+    -------
+    Mapping from node name to a float32 array of shape ``(N, channels)``:
+    the spatial mean of the node's activation (or the activation itself if
+    it is already flat).
+    """
+    unique = list(dict.fromkeys(node_names))
+    chunks: dict[str, list[np.ndarray]] = {name: [] for name in unique}
+    for start in range(0, x.shape[0], batch_size):
+        batch = x[start:start + batch_size]
+        _, acts = net.forward(batch, training=False, capture=unique)
+        for name, act in acts.items():
+            if act.ndim == 4:
+                act = act.mean(axis=(1, 2))
+            elif act.ndim != 2:
+                raise ValueError(
+                    f"node {name!r} has unexpected activation rank "
+                    f"{act.ndim}")
+            chunks[name].append(act.astype(np.float32))
+    return {name: np.concatenate(parts) for name, parts in chunks.items()}

@@ -1,0 +1,174 @@
+"""Training loops: head-only training and the paper's two-phase fine-tuning.
+
+The paper's transfer recipe (§III-B3): start with all pretrained features
+frozen and train the new head at learning rate 1e-3, then unfreeze the
+whole network and continue for 50 epochs at 1e-4. ``fine_tune`` implements
+exactly that on a full TRN; ``train_head_on_features`` implements the
+frozen phase on pre-recorded GAP features, which is what the large sweeps
+use (see :mod:`repro.train.features`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.synthetic import Dataset
+from repro.metrics.angular import mean_angular_similarity
+from repro.nn import Adam, Dense, Network, ReLU, Softmax
+from repro.nn.losses import softmax_cross_entropy
+
+__all__ = ["TrainConfig", "TrainResult", "build_head_network",
+           "train_head_on_features", "fine_tune", "evaluate", "predict",
+           "transplant_head"]
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    """Hyper-parameters of the paper's fine-tuning recipe."""
+
+    epochs_frozen: int = 20
+    epochs_full: int = 50
+    lr_frozen: float = 1e-3
+    lr_full: float = 1e-4
+    batch_size: int = 32
+    seed: int = 0
+
+
+@dataclass
+class TrainResult:
+    """Training outcome: the trained network and its learning curve."""
+
+    network: Network
+    losses: list[float] = field(default_factory=list)
+    train_accuracy: float = float("nan")
+    test_accuracy: float = float("nan")
+
+
+def build_head_network(in_dim: int, num_classes: int,
+                       hidden: tuple[int, int] = (32, 16),
+                       rng: np.random.Generator | int = 0) -> Network:
+    """The paper's transfer head as a standalone network on GAP features."""
+    net = Network("head", (in_dim,))
+    prev = "input"
+    for i, width in enumerate(hidden, start=1):
+        prev = net.add(f"fc{i}", Dense(width), inputs=prev, role="head")
+        prev = net.add(f"relu{i}", ReLU(), role="head")
+    net.add("logits", Dense(num_classes), inputs=prev, role="head")
+    net.add("probs", Softmax(), role="head")
+    return net.build(rng)
+
+
+def transplant_head(head: Network, trn: Network) -> Network:
+    """Copy a standalone head's trained weights into a TRN's head layers.
+
+    The sweep experiments train the transfer head on pre-recorded GAP
+    features (:func:`train_head_on_features`); this grafts those weights
+    onto the full TRN (whose head layers are named ``head_fc1``,
+    ``head_fc2``, ``head_logits``) so the TRN can run end-to-end inference.
+    Returns ``trn``.
+    """
+    mapping = {"fc1": "head_fc1", "fc2": "head_fc2", "logits": "head_logits"}
+    for src, dst in mapping.items():
+        if src not in head.nodes or dst not in trn.nodes:
+            raise KeyError(f"cannot transplant {src!r} -> {dst!r}")
+        for pname, p in head.nodes[src].layer.params.items():
+            target = trn.nodes[dst].layer.params[pname]
+            if target.value.shape != p.value.shape:
+                raise ValueError(
+                    f"head/TRN shape mismatch at {dst}.{pname}: "
+                    f"{target.value.shape} vs {p.value.shape}")
+            target.value = p.value.copy()
+    return trn
+
+
+def _logits_node(net: Network) -> str:
+    """The node feeding the final softmax (training bypasses the softmax)."""
+    out = net.nodes[net.output_name]
+    if type(out.layer).__name__ == "Softmax":
+        return out.inputs[0]
+    return net.output_name
+
+
+def _run_epochs(net: Network, x: np.ndarray, y: np.ndarray, epochs: int,
+                optimizer: Adam, batch_size: int,
+                rng: np.random.Generator, losses: list[float]) -> None:
+    logits_node = _logits_node(net)
+    saved_output = net.output_name
+    net.output_name = logits_node
+    try:
+        for _ in range(epochs):
+            order = rng.permutation(x.shape[0])
+            epoch_loss = 0.0
+            batches = 0
+            for start in range(0, x.shape[0], batch_size):
+                idx = order[start:start + batch_size]
+                net.zero_grad()
+                _, loss = net.forward_backward(
+                    x[idx], loss_fn=softmax_cross_entropy, y=y[idx],
+                    training=True)
+                optimizer.step(net.parameters())
+                epoch_loss += loss
+                batches += 1
+            losses.append(epoch_loss / max(batches, 1))
+    finally:
+        net.output_name = saved_output
+
+
+def train_head_on_features(features: np.ndarray, y: np.ndarray,
+                           num_classes: int, epochs: int = 60,
+                           lr: float = 1e-3, batch_size: int = 64,
+                           hidden: tuple[int, int] = (32, 16),
+                           rng: np.random.Generator | int = 0) -> TrainResult:
+    """Phase-1 training: fit the transfer head on frozen GAP features."""
+    if isinstance(rng, (int, np.integer)):
+        rng = np.random.default_rng(int(rng))
+    head = build_head_network(features.shape[1], num_classes, hidden, rng)
+    result = TrainResult(head)
+    optimizer = Adam(lr)
+    _run_epochs(head, features.astype(np.float32), y, epochs, optimizer,
+                batch_size, rng, result.losses)
+    result.train_accuracy = mean_angular_similarity(
+        head.forward(features.astype(np.float32)), y)
+    return result
+
+
+def fine_tune(net: Network, train_data: Dataset,
+              test_data: Dataset | None = None,
+              config: TrainConfig = TrainConfig()) -> TrainResult:
+    """The paper's two-phase fine-tuning of a full TRN.
+
+    Phase 1 freezes every non-head layer and trains the head at
+    ``lr_frozen``; phase 2 unfreezes everything and continues at
+    ``lr_full``.
+    """
+    rng = np.random.default_rng(config.seed)
+    result = TrainResult(net)
+
+    net.freeze(lambda node: node.role != "head")
+    optimizer = Adam(config.lr_frozen)
+    _run_epochs(net, train_data.x, train_data.y, config.epochs_frozen,
+                optimizer, config.batch_size, rng, result.losses)
+
+    net.unfreeze()
+    optimizer.set_lr(config.lr_full)
+    _run_epochs(net, train_data.x, train_data.y, config.epochs_full,
+                optimizer, config.batch_size, rng, result.losses)
+
+    result.train_accuracy = evaluate(net, train_data)
+    if test_data is not None:
+        result.test_accuracy = evaluate(net, test_data)
+    return result
+
+
+def predict(net: Network, x: np.ndarray, batch_size: int = 128) -> np.ndarray:
+    """Batched inference returning the network's probability outputs."""
+    outs = [net.forward(x[s:s + batch_size])
+            for s in range(0, x.shape[0], batch_size)]
+    return np.concatenate(outs)
+
+
+def evaluate(net: Network, data: Dataset, batch_size: int = 128) -> float:
+    """Mean angular similarity of the network on a dataset."""
+    return mean_angular_similarity(predict(net, data.x, batch_size), data.y)

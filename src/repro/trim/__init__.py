@@ -1,0 +1,27 @@
+"""Layer removal: block boundaries, cutpoint enumeration, TRN construction."""
+
+from .blocks import BlockBoundary, block_boundaries, stem_output
+from .removal import (
+    DEFAULT_HEAD_HIDDEN,
+    attach_head,
+    build_trn,
+    removed_node_set,
+    removed_weighted_layers,
+    trn_node_count,
+)
+from .search import Cutpoint, enumerate_blockwise, enumerate_iterative
+
+__all__ = [
+    "BlockBoundary",
+    "block_boundaries",
+    "stem_output",
+    "attach_head",
+    "build_trn",
+    "trn_node_count",
+    "removed_weighted_layers",
+    "removed_node_set",
+    "DEFAULT_HEAD_HIDDEN",
+    "Cutpoint",
+    "enumerate_blockwise",
+    "enumerate_iterative",
+]

@@ -1,0 +1,27 @@
+"""The model zoo: the seven ImageNet architectures the paper studies.
+
+Every network is width-scaled (see :data:`repro.zoo.blocks.WIDTH_DIVISOR`)
+so it runs at NumPy speed, while preserving the original block structure,
+block counts and weighted-layer counts that layer removal operates on.
+"""
+
+from .blocks import scale_channels
+from .densenet import build_densenet121
+from .inception_v3 import build_inception_v3
+from .mobilenet_v1 import build_mobilenet_v1
+from .mobilenet_v2 import build_mobilenet_v2
+from .registry import NETWORKS, NetworkSpec, build_network, network_spec
+from .resnet import build_resnet50
+
+__all__ = [
+    "NETWORKS",
+    "NetworkSpec",
+    "build_network",
+    "network_spec",
+    "build_mobilenet_v1",
+    "build_mobilenet_v2",
+    "build_resnet50",
+    "build_densenet121",
+    "build_inception_v3",
+    "scale_channels",
+]

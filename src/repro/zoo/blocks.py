@@ -1,0 +1,269 @@
+"""Reusable architectural blocks for the model zoo.
+
+Each helper appends layers to an existing :class:`~repro.nn.graph.Network`
+and returns the name of the block's output node. All helpers tag the nodes
+they create with a ``block_id`` so that :mod:`repro.trim` can enumerate
+block boundaries for blockwise layer removal, exactly the granularity the
+paper uses (residual blocks, inverted-residual blocks, dense layers,
+inception modules).
+"""
+
+from __future__ import annotations
+
+from repro.nn import (
+    Add,
+    AvgPool2D,
+    BatchNorm,
+    Concat,
+    Conv2D,
+    DepthwiseConv2D,
+    MaxPool2D,
+    Network,
+    ReLU,
+    ReLU6,
+)
+
+__all__ = [
+    "scale_channels",
+    "conv_bn_relu",
+    "separable_block",
+    "inverted_residual",
+    "bottleneck_residual",
+    "dense_layer",
+    "dense_transition",
+    "inception_a",
+    "inception_c",
+    "inception_e",
+    "reduction_b",
+    "reduction_d",
+]
+
+#: Global width divisor: every architecture's original channel counts are
+#: divided by this so the networks run at NumPy speed while preserving the
+#: relative widths between architectures.
+WIDTH_DIVISOR = 4
+
+#: Minimum channel count after scaling, so very thin nets stay functional.
+MIN_CHANNELS = 3
+
+
+def scale_channels(channels: int, alpha: float = 1.0,
+                   divisor: int = WIDTH_DIVISOR) -> int:
+    """Scale an original channel count by ``alpha`` (the paper's width
+    multiplier) and the global width divisor, clamped to ``MIN_CHANNELS``."""
+    return max(MIN_CHANNELS, int(round(channels * alpha / divisor)))
+
+
+def conv_bn_relu(net: Network, prefix: str, inputs, filters: int, kernel,
+                 stride: int = 1, block_id: str | None = None,
+                 role: str = "feature", relu6: bool = False,
+                 padding: str = "same") -> str:
+    """Conv → BatchNorm → ReLU(6), the universal CNN building unit."""
+    act = ReLU6() if relu6 else ReLU()
+    net.add(f"{prefix}_conv", Conv2D(filters, kernel, stride, padding,
+                                     use_bias=False),
+            inputs=inputs, block_id=block_id, role=role)
+    net.add(f"{prefix}_bn", BatchNorm(), block_id=block_id, role=role)
+    net.add(f"{prefix}_relu", act, block_id=block_id, role=role)
+    return f"{prefix}_relu"
+
+
+def separable_block(net: Network, prefix: str, inputs, filters: int,
+                    stride: int, block_id: str) -> str:
+    """MobileNetV1 depthwise-separable block: DW conv → BN → ReLU6 →
+    pointwise conv → BN → ReLU6 (2 weighted layers)."""
+    net.add(f"{prefix}_dw", DepthwiseConv2D(3, stride, "same", use_bias=False),
+            inputs=inputs, block_id=block_id)
+    net.add(f"{prefix}_dwbn", BatchNorm(), block_id=block_id)
+    net.add(f"{prefix}_dwrelu", ReLU6(), block_id=block_id)
+    return conv_bn_relu(net, f"{prefix}_pw", f"{prefix}_dwrelu", filters, 1,
+                        1, block_id, relu6=True)
+
+
+def inverted_residual(net: Network, prefix: str, inputs, in_channels: int,
+                      out_channels: int, stride: int, expansion: int,
+                      block_id: str) -> str:
+    """MobileNetV2 inverted residual: 1×1 expand → DW 3×3 → 1×1 project,
+    with a skip connection when the shape is preserved."""
+    x = inputs
+    if expansion != 1:
+        x = conv_bn_relu(net, f"{prefix}_expand", x,
+                         in_channels * expansion, 1, 1, block_id, relu6=True)
+    net.add(f"{prefix}_dw", DepthwiseConv2D(3, stride, "same", use_bias=False),
+            inputs=x, block_id=block_id)
+    net.add(f"{prefix}_dwbn", BatchNorm(), block_id=block_id)
+    net.add(f"{prefix}_dwrelu", ReLU6(), block_id=block_id)
+    net.add(f"{prefix}_project", Conv2D(out_channels, 1, 1, "same",
+                                        use_bias=False),
+            inputs=f"{prefix}_dwrelu", block_id=block_id)
+    net.add(f"{prefix}_pbn", BatchNorm(), block_id=block_id)
+    if stride == 1 and in_channels == out_channels:
+        net.add(f"{prefix}_add", Add(), inputs=[inputs, f"{prefix}_pbn"],
+                block_id=block_id)
+        return f"{prefix}_add"
+    return f"{prefix}_pbn"
+
+
+def bottleneck_residual(net: Network, prefix: str, inputs, width: int,
+                        stride: int, block_id: str,
+                        project: bool, expansion: int = 4) -> str:
+    """ResNet-50 bottleneck: 1×1 reduce → 3×3 → 1×1 expand (+identity).
+
+    ``project`` selects the 1×1 projection shortcut used at stage
+    boundaries (stride > 1 or channel change).
+    """
+    out_channels = width * expansion
+    a = conv_bn_relu(net, f"{prefix}_a", inputs, width, 1, stride, block_id)
+    b = conv_bn_relu(net, f"{prefix}_b", a, width, 3, 1, block_id)
+    net.add(f"{prefix}_c_conv", Conv2D(out_channels, 1, 1, "same",
+                                       use_bias=False),
+            inputs=b, block_id=block_id)
+    net.add(f"{prefix}_c_bn", BatchNorm(), block_id=block_id)
+    shortcut = inputs
+    if project:
+        net.add(f"{prefix}_sc_conv", Conv2D(out_channels, 1, stride, "same",
+                                            use_bias=False),
+                inputs=inputs, block_id=block_id)
+        net.add(f"{prefix}_sc_bn", BatchNorm(), block_id=block_id)
+        shortcut = f"{prefix}_sc_bn"
+    net.add(f"{prefix}_add", Add(), inputs=[shortcut, f"{prefix}_c_bn"],
+            block_id=block_id)
+    net.add(f"{prefix}_out", ReLU(), block_id=block_id)
+    return f"{prefix}_out"
+
+
+def dense_layer(net: Network, prefix: str, inputs, growth: int,
+                block_id: str) -> str:
+    """DenseNet composite layer: BN→ReLU→1×1 (4g) → BN→ReLU→3×3 (g),
+    concatenated with its input (2 weighted layers)."""
+    net.add(f"{prefix}_bn1", BatchNorm(), inputs=inputs, block_id=block_id)
+    net.add(f"{prefix}_relu1", ReLU(), block_id=block_id)
+    net.add(f"{prefix}_conv1", Conv2D(4 * growth, 1, 1, "same",
+                                      use_bias=False), block_id=block_id)
+    net.add(f"{prefix}_bn2", BatchNorm(), block_id=block_id)
+    net.add(f"{prefix}_relu2", ReLU(), block_id=block_id)
+    net.add(f"{prefix}_conv2", Conv2D(growth, 3, 1, "same", use_bias=False),
+            block_id=block_id)
+    net.add(f"{prefix}_concat", Concat(), inputs=[inputs, f"{prefix}_conv2"],
+            block_id=block_id)
+    return f"{prefix}_concat"
+
+
+def dense_transition(net: Network, prefix: str, inputs, out_channels: int,
+                     block_id: str) -> str:
+    """DenseNet transition: BN→ReLU→1×1 compress → 2×2 average pool."""
+    net.add(f"{prefix}_bn", BatchNorm(), inputs=inputs, block_id=block_id)
+    net.add(f"{prefix}_relu", ReLU(), block_id=block_id)
+    net.add(f"{prefix}_conv", Conv2D(out_channels, 1, 1, "same",
+                                     use_bias=False), block_id=block_id)
+    net.add(f"{prefix}_pool", AvgPool2D(2, 2), block_id=block_id)
+    return f"{prefix}_pool"
+
+
+def _pool_branch(net: Network, prefix: str, inputs, filters: int,
+                 block_id: str, max_pool: bool = False) -> str:
+    pool = MaxPool2D(3, 1, "same") if max_pool else AvgPool2D(3, 1, "same")
+    net.add(f"{prefix}_pool", pool, inputs=inputs, block_id=block_id)
+    return conv_bn_relu(net, f"{prefix}_proj", f"{prefix}_pool", filters, 1,
+                        1, block_id)
+
+
+def inception_a(net: Network, prefix: str, inputs, block_id: str,
+                pool_filters: int = 4) -> str:
+    """Inception module A (35×35 grid in the original): four parallel
+    branches (1×1 / 5×5 / double 3×3 / pool) concatenated (7 convs)."""
+    b1 = conv_bn_relu(net, f"{prefix}_b1", inputs, scale_channels(64), 1, 1,
+                      block_id)
+    b2 = conv_bn_relu(net, f"{prefix}_b2a", inputs, scale_channels(48), 1, 1,
+                      block_id)
+    b2 = conv_bn_relu(net, f"{prefix}_b2b", b2, scale_channels(64), 5, 1,
+                      block_id)
+    b3 = conv_bn_relu(net, f"{prefix}_b3a", inputs, scale_channels(64), 1, 1,
+                      block_id)
+    b3 = conv_bn_relu(net, f"{prefix}_b3b", b3, scale_channels(96), 3, 1,
+                      block_id)
+    b3 = conv_bn_relu(net, f"{prefix}_b3c", b3, scale_channels(96), 3, 1,
+                      block_id)
+    b4 = _pool_branch(net, f"{prefix}_b4", inputs, pool_filters, block_id)
+    net.add(f"{prefix}_concat", Concat(), inputs=[b1, b2, b3, b4],
+            block_id=block_id)
+    return f"{prefix}_concat"
+
+
+def inception_c(net: Network, prefix: str, inputs, block_id: str,
+                mid: int) -> str:
+    """Inception module C (17×17): factorized 7×7 branches (10 convs)."""
+    c192 = scale_channels(192)
+    b1 = conv_bn_relu(net, f"{prefix}_b1", inputs, c192, 1, 1, block_id)
+    b2 = conv_bn_relu(net, f"{prefix}_b2a", inputs, mid, 1, 1, block_id)
+    b2 = conv_bn_relu(net, f"{prefix}_b2b", b2, mid, (1, 7), 1, block_id)
+    b2 = conv_bn_relu(net, f"{prefix}_b2c", b2, c192, (7, 1), 1, block_id)
+    b3 = conv_bn_relu(net, f"{prefix}_b3a", inputs, mid, 1, 1, block_id)
+    b3 = conv_bn_relu(net, f"{prefix}_b3b", b3, mid, (7, 1), 1, block_id)
+    b3 = conv_bn_relu(net, f"{prefix}_b3c", b3, mid, (1, 7), 1, block_id)
+    b3 = conv_bn_relu(net, f"{prefix}_b3d", b3, mid, (7, 1), 1, block_id)
+    b3 = conv_bn_relu(net, f"{prefix}_b3e", b3, c192, (1, 7), 1, block_id)
+    b4 = _pool_branch(net, f"{prefix}_b4", inputs, c192, block_id)
+    net.add(f"{prefix}_concat", Concat(), inputs=[b1, b2, b3, b4],
+            block_id=block_id)
+    return f"{prefix}_concat"
+
+
+def inception_e(net: Network, prefix: str, inputs, block_id: str) -> str:
+    """Inception module E (8×8): expanded-filter-bank branches with
+    1×3 / 3×1 splits (9 convs)."""
+    b1 = conv_bn_relu(net, f"{prefix}_b1", inputs, scale_channels(320), 1, 1,
+                      block_id)
+    b2 = conv_bn_relu(net, f"{prefix}_b2a", inputs, scale_channels(384), 1, 1,
+                      block_id)
+    b2x = conv_bn_relu(net, f"{prefix}_b2b", b2, scale_channels(384), (1, 3),
+                       1, block_id)
+    b2y = conv_bn_relu(net, f"{prefix}_b2c", b2, scale_channels(384), (3, 1),
+                       1, block_id)
+    b3 = conv_bn_relu(net, f"{prefix}_b3a", inputs, scale_channels(448), 1, 1,
+                      block_id)
+    b3 = conv_bn_relu(net, f"{prefix}_b3b", b3, scale_channels(384), 3, 1,
+                      block_id)
+    b3x = conv_bn_relu(net, f"{prefix}_b3c", b3, scale_channels(384), (1, 3),
+                       1, block_id)
+    b3y = conv_bn_relu(net, f"{prefix}_b3d", b3, scale_channels(384), (3, 1),
+                       1, block_id)
+    b4 = _pool_branch(net, f"{prefix}_b4", inputs, scale_channels(192),
+                      block_id)
+    net.add(f"{prefix}_concat", Concat(),
+            inputs=[b1, b2x, b2y, b3x, b3y, b4], block_id=block_id)
+    return f"{prefix}_concat"
+
+
+def reduction_b(net: Network, prefix: str, inputs, block_id: str) -> str:
+    """Inception grid reduction 35→17 (4 convs + pool)."""
+    b1 = conv_bn_relu(net, f"{prefix}_b1", inputs, scale_channels(384), 3, 2,
+                      block_id)
+    b2 = conv_bn_relu(net, f"{prefix}_b2a", inputs, scale_channels(64), 1, 1,
+                      block_id)
+    b2 = conv_bn_relu(net, f"{prefix}_b2b", b2, scale_channels(96), 3, 1,
+                      block_id)
+    b2 = conv_bn_relu(net, f"{prefix}_b2c", b2, scale_channels(96), 3, 2,
+                      block_id)
+    net.add(f"{prefix}_pool", MaxPool2D(3, 2, "same"), inputs=inputs,
+            block_id=block_id)
+    net.add(f"{prefix}_concat", Concat(),
+            inputs=[b1, b2, f"{prefix}_pool"], block_id=block_id)
+    return f"{prefix}_concat"
+
+
+def reduction_d(net: Network, prefix: str, inputs, block_id: str) -> str:
+    """Inception grid reduction 17→8 (6 convs + pool)."""
+    c192 = scale_channels(192)
+    b1 = conv_bn_relu(net, f"{prefix}_b1a", inputs, c192, 1, 1, block_id)
+    b1 = conv_bn_relu(net, f"{prefix}_b1b", b1, scale_channels(320), 3, 2,
+                      block_id)
+    b2 = conv_bn_relu(net, f"{prefix}_b2a", inputs, c192, 1, 1, block_id)
+    b2 = conv_bn_relu(net, f"{prefix}_b2b", b2, c192, (1, 7), 1, block_id)
+    b2 = conv_bn_relu(net, f"{prefix}_b2c", b2, c192, (7, 1), 1, block_id)
+    b2 = conv_bn_relu(net, f"{prefix}_b2d", b2, c192, 3, 2, block_id)
+    net.add(f"{prefix}_pool", MaxPool2D(3, 2, "same"), inputs=inputs,
+            block_id=block_id)
+    net.add(f"{prefix}_concat", Concat(),
+            inputs=[b1, b2, f"{prefix}_pool"], block_id=block_id)
+    return f"{prefix}_concat"

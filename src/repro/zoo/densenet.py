@@ -1,0 +1,55 @@
+"""DenseNet-121 (Huang et al., 2017), width-scaled for NumPy execution.
+
+A 7×7 strided stem, four dense blocks of [6, 12, 24, 16] composite layers
+(each a BN-ReLU-1×1 / BN-ReLU-3×3 pair) with 0.5-compression transitions —
+121 weighted layers including the classifier.
+
+For layer removal each *composite layer* is its own removal unit: because of
+the concatenation topology, cutting after any composite layer yields a valid
+feature tensor, and this is what lets the paper's Fig. 5 show DenseNet
+curves extending past 100 removed layers. Together with the three
+transitions that gives 58 + 3 = 61 cutpoints.
+"""
+
+from __future__ import annotations
+
+from repro.nn import BatchNorm, Dense, GlobalAvgPool, MaxPool2D, Network, ReLU, Softmax
+
+from .blocks import conv_bn_relu, dense_layer, dense_transition, scale_channels
+
+__all__ = ["build_densenet121"]
+
+_BLOCK_SIZES = [6, 12, 24, 16]
+
+
+def build_densenet121(input_shape: tuple[int, int, int] = (32, 32, 3),
+                      num_classes: int = 20,
+                      growth: int | None = None) -> Network:
+    """Construct DenseNet-121 (unbuilt).
+
+    ``growth`` defaults to the original growth rate of 32 scaled by the
+    global width divisor.
+    """
+    g = growth if growth is not None else scale_channels(32)
+    net = Network("densenet121", input_shape)
+    channels = scale_channels(64)
+    x = conv_bn_relu(net, "stem", "input", channels, 7, stride=2,
+                     block_id="stem", role="stem")
+    net.add("stem_pool", MaxPool2D(3, 2, "same"), inputs=x,
+            block_id="stem", role="stem")
+    x = "stem_pool"
+    for b, size in enumerate(_BLOCK_SIZES, start=1):
+        for layer in range(1, size + 1):
+            x = dense_layer(net, f"dense{b}_{layer}", x, g,
+                            block_id=f"dense{b}_{layer}")
+            channels += g
+        if b < len(_BLOCK_SIZES):
+            channels = max(3, channels // 2)
+            x = dense_transition(net, f"trans{b}", x, channels,
+                                 block_id=f"trans{b}")
+    net.add("final_bn", BatchNorm(), inputs=x, role="head")
+    net.add("final_relu", ReLU(), role="head")
+    net.add("gap", GlobalAvgPool(), role="head")
+    net.add("logits", Dense(num_classes), role="head")
+    net.add("probs", Softmax(), role="head")
+    return net

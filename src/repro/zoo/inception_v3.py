@@ -1,0 +1,60 @@
+"""InceptionV3 (Szegedy et al., 2016), width-scaled for NumPy execution.
+
+A six-convolution stem followed by 11 inception modules: 3×A, a 35→17 grid
+reduction, 4×C (factorized 7×7), a 17→8 grid reduction, and 2×E — about 95
+weighted layers. Blockwise removal has 11 cutpoints (one per module), which
+is the network Fig. 4 of the paper uses to compare blockwise against
+exhaustive per-layer removal.
+"""
+
+from __future__ import annotations
+
+from repro.nn import Dense, GlobalAvgPool, MaxPool2D, Network, Softmax
+
+from .blocks import (
+    conv_bn_relu,
+    inception_a,
+    inception_c,
+    inception_e,
+    reduction_b,
+    reduction_d,
+    scale_channels,
+)
+
+__all__ = ["build_inception_v3"]
+
+
+def build_inception_v3(input_shape: tuple[int, int, int] = (32, 32, 3),
+                       num_classes: int = 20) -> Network:
+    """Construct InceptionV3 (unbuilt)."""
+    net = Network("inception_v3", input_shape)
+    x = conv_bn_relu(net, "stem1", "input", scale_channels(32), 3, stride=2,
+                     block_id="stem", role="stem")
+    x = conv_bn_relu(net, "stem2", x, scale_channels(32), 3, 1,
+                     block_id="stem", role="stem")
+    x = conv_bn_relu(net, "stem3", x, scale_channels(64), 3, 1,
+                     block_id="stem", role="stem")
+    net.add("stem_pool", MaxPool2D(3, 2, "same"), inputs=x,
+            block_id="stem", role="stem")
+    x = conv_bn_relu(net, "stem4", "stem_pool", scale_channels(80), 1, 1,
+                     block_id="stem", role="stem")
+    x = conv_bn_relu(net, "stem5", x, scale_channels(192), 3, 1,
+                     block_id="stem", role="stem")
+
+    pool_filters = [scale_channels(32), scale_channels(64), scale_channels(64)]
+    for i in range(1, 4):
+        x = inception_a(net, f"mixed{i}", x, block_id=f"module{i}",
+                        pool_filters=pool_filters[i - 1])
+    x = reduction_b(net, "mixed4", x, block_id="module4")
+    mids = [128, 160, 160, 192]
+    for i, mid in zip(range(5, 9), mids):
+        x = inception_c(net, f"mixed{i}", x, block_id=f"module{i}",
+                        mid=scale_channels(mid))
+    x = reduction_d(net, "mixed9", x, block_id="module9")
+    for i in range(10, 12):
+        x = inception_e(net, f"mixed{i}", x, block_id=f"module{i}")
+
+    net.add("gap", GlobalAvgPool(), inputs=x, role="head")
+    net.add("logits", Dense(num_classes), role="head")
+    net.add("probs", Softmax(), role="head")
+    return net

@@ -1,0 +1,44 @@
+"""MobileNetV1 (Howard et al., 2017), width-scaled for NumPy execution.
+
+Structure is faithful to the original: a stem convolution followed by 13
+depthwise-separable blocks (28 weighted layers including the classifier).
+The paper uses the 0.25 and 0.5 width multipliers; blockwise layer removal
+therefore has 13 cutpoints per multiplier.
+
+Resolution adaptation: the original stem stride of 2 assumes 224² inputs;
+at this repository's 32² resolution the MobileNets keep a stride-1 stem
+(the standard CIFAR-style adaptation) because their narrow widths cannot
+afford losing three quarters of the input signal in the first layer. The
+wider ResNet/DenseNet/Inception stems keep their original strides.
+"""
+
+from __future__ import annotations
+
+from repro.nn import Dense, GlobalAvgPool, Network, Softmax
+
+from .blocks import conv_bn_relu, scale_channels, separable_block
+
+__all__ = ["build_mobilenet_v1"]
+
+#: (filters, stride) for the 13 depthwise-separable blocks (original widths).
+_BLOCKS = [
+    (64, 1), (128, 2), (128, 1), (256, 2), (256, 1), (512, 2),
+    (512, 1), (512, 1), (512, 1), (512, 1), (512, 1), (1024, 2), (1024, 1),
+]
+
+
+def build_mobilenet_v1(alpha: float = 1.0,
+                       input_shape: tuple[int, int, int] = (32, 32, 3),
+                       num_classes: int = 20) -> Network:
+    """Construct MobileNetV1 with width multiplier ``alpha`` (unbuilt)."""
+    net = Network(f"mobilenet_v1_{alpha}", input_shape)
+    x = conv_bn_relu(net, "stem", "input", scale_channels(32, alpha), 3,
+                     stride=1, block_id="stem", role="stem", relu6=True)
+    for i, (filters, stride) in enumerate(_BLOCKS, start=1):
+        x = separable_block(net, f"block{i}", x,
+                            scale_channels(filters, alpha), stride,
+                            block_id=f"block{i}")
+    net.add("gap", GlobalAvgPool(), inputs=x, role="head")
+    net.add("logits", Dense(num_classes), role="head")
+    net.add("probs", Softmax(), role="head")
+    return net

@@ -1,0 +1,56 @@
+"""MobileNetV2 (Sandler et al., 2018), width-scaled for NumPy execution.
+
+A stem convolution, 17 inverted-residual blocks arranged in the original
+(t, c, n, s) schedule, and a final 1×1 expansion convolution. The paper uses
+the 1.0 and 1.4 width multipliers; blockwise removal has 17 cutpoints.
+
+Like MobileNetV1, the stem uses stride 1 at this repository's 32² input
+resolution (CIFAR-style adaptation; see :mod:`repro.zoo.mobilenet_v1`).
+"""
+
+from __future__ import annotations
+
+from repro.nn import Dense, GlobalAvgPool, Network, Softmax
+
+from .blocks import conv_bn_relu, inverted_residual, scale_channels
+
+__all__ = ["build_mobilenet_v2"]
+
+#: (expansion t, original channels c, repeats n, first stride s)
+_SCHEDULE = [
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+]
+
+
+def build_mobilenet_v2(alpha: float = 1.0,
+                       input_shape: tuple[int, int, int] = (32, 32, 3),
+                       num_classes: int = 20) -> Network:
+    """Construct MobileNetV2 with width multiplier ``alpha`` (unbuilt)."""
+    net = Network(f"mobilenet_v2_{alpha}", input_shape)
+    in_ch = scale_channels(32, alpha)
+    x = conv_bn_relu(net, "stem", "input", in_ch, 3, stride=1,
+                     block_id="stem", role="stem", relu6=True)
+    idx = 0
+    for t, c, n, s in _SCHEDULE:
+        out_ch = scale_channels(c, alpha)
+        for rep in range(n):
+            idx += 1
+            stride = s if rep == 0 else 1
+            x = inverted_residual(net, f"block{idx}", x, in_ch, out_ch,
+                                  stride, t, block_id=f"block{idx}")
+            in_ch = out_ch
+    # final expansion conv belongs to the last block for removal purposes:
+    # the original's 1280-channel conv exists purely to feed the classifier,
+    # so the transfer head re-creates its role and removal drops it first.
+    x = conv_bn_relu(net, "head_conv", x, scale_channels(1280, max(alpha, 1.0)),
+                     1, 1, block_id=f"block{idx}", relu6=True)
+    net.add("gap", GlobalAvgPool(), inputs=x, role="head")
+    net.add("logits", Dense(num_classes), role="head")
+    net.add("probs", Softmax(), role="head")
+    return net

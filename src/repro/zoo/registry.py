@@ -1,0 +1,70 @@
+"""Registry of the seven pretrained architectures studied by the paper.
+
+The paper (following Zandigohar et al., 2020) selects MobileNetV1 (0.25 and
+0.5), MobileNetV2 (1.0 and 1.4), InceptionV3, ResNet-50 and DenseNet-121 as
+the Pareto-efficient sources of transfer among 23 off-the-shelf ImageNet
+networks. ``build_network`` constructs any of them by canonical name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.nn import Network
+
+from .densenet import build_densenet121
+from .inception_v3 import build_inception_v3
+from .mobilenet_v1 import build_mobilenet_v1
+from .mobilenet_v2 import build_mobilenet_v2
+from .resnet import build_resnet50
+
+__all__ = ["NETWORKS", "NetworkSpec", "build_network", "network_spec"]
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Static description of a zoo architecture."""
+
+    name: str
+    family: str
+    builder: Callable[..., Network]
+    alpha: float | None = None
+
+    def build(self, input_shape=(32, 32, 3), num_classes: int = 20) -> Network:
+        """Construct the (unbuilt) network."""
+        if self.alpha is not None:
+            return self.builder(self.alpha, input_shape=input_shape,
+                                num_classes=num_classes)
+        return self.builder(input_shape=input_shape, num_classes=num_classes)
+
+
+_SPECS = [
+    NetworkSpec("mobilenet_v1_0.25", "mobilenet_v1", build_mobilenet_v1, 0.25),
+    NetworkSpec("mobilenet_v1_0.5", "mobilenet_v1", build_mobilenet_v1, 0.5),
+    NetworkSpec("mobilenet_v2_1.0", "mobilenet_v2", build_mobilenet_v2, 1.0),
+    NetworkSpec("mobilenet_v2_1.4", "mobilenet_v2", build_mobilenet_v2, 1.4),
+    NetworkSpec("inception_v3", "inception", build_inception_v3),
+    NetworkSpec("resnet50", "resnet", build_resnet50),
+    NetworkSpec("densenet121", "densenet", build_densenet121),
+]
+
+_BY_NAME = {spec.name: spec for spec in _SPECS}
+
+#: Canonical names of the seven networks, in the paper's order.
+NETWORKS: list[str] = [spec.name for spec in _SPECS]
+
+
+def network_spec(name: str) -> NetworkSpec:
+    """Look up the :class:`NetworkSpec` for a canonical name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown network {name!r}; available: {NETWORKS}") from None
+
+
+def build_network(name: str, input_shape=(32, 32, 3),
+                  num_classes: int = 20) -> Network:
+    """Construct one of the seven zoo networks by name (unbuilt)."""
+    return network_spec(name).build(input_shape, num_classes)

@@ -1,0 +1,42 @@
+"""ResNet-50 (He et al., 2016), width-scaled for NumPy execution.
+
+A 7×7 strided stem with max pooling, followed by 16 bottleneck residual
+blocks in stages of [3, 4, 6, 3] — 50 weighted layers including the
+classifier. Blockwise removal has 16 cutpoints (one per residual block).
+"""
+
+from __future__ import annotations
+
+from repro.nn import Dense, GlobalAvgPool, MaxPool2D, Network, Softmax
+
+from .blocks import bottleneck_residual, conv_bn_relu, scale_channels
+
+__all__ = ["build_resnet50"]
+
+#: (original bottleneck width, repeats, first stride) per stage
+_STAGES = [(64, 3, 1), (128, 4, 2), (256, 6, 2), (512, 3, 2)]
+
+
+def build_resnet50(input_shape: tuple[int, int, int] = (32, 32, 3),
+                   num_classes: int = 20) -> Network:
+    """Construct ResNet-50 (unbuilt)."""
+    net = Network("resnet50", input_shape)
+    x = conv_bn_relu(net, "stem", "input", scale_channels(64), 7, stride=2,
+                     block_id="stem", role="stem")
+    net.add("stem_pool", MaxPool2D(3, 2, "same"), inputs=x,
+            block_id="stem", role="stem")
+    x = "stem_pool"
+    idx = 0
+    for stage, (width, repeats, stride) in enumerate(_STAGES, start=1):
+        w = scale_channels(width)
+        for rep in range(repeats):
+            idx += 1
+            x = bottleneck_residual(
+                net, f"block{idx}", x, w,
+                stride=stride if rep == 0 else 1,
+                block_id=f"block{idx}",
+                project=(rep == 0))
+    net.add("gap", GlobalAvgPool(), inputs=x, role="head")
+    net.add("logits", Dense(num_classes), role="head")
+    net.add("probs", Softmax(), role="head")
+    return net

@@ -1,0 +1,109 @@
+"""Property-based tests of Algorithm 1's selection invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netcut import run_netcut
+from repro.trim import build_trn, enumerate_blockwise
+
+from conftest import make_tiny_net
+
+
+class ScriptedEstimator:
+    """Estimator driven by an arbitrary decreasing latency schedule."""
+
+    name = "scripted"
+
+    def __init__(self, latencies):
+        # latencies[0] = original network, latencies[k] = k blocks removed
+        self.latencies = list(latencies)
+
+    def estimate(self, base, cutpoint):
+        if cutpoint is None:
+            return self.latencies[0]
+        return self.latencies[cutpoint.blocks_removed]
+
+
+def scripted_retrain(base, cutpoint):
+    cut_node = cutpoint.cut_node if cutpoint else "pool"
+    return build_trn(base, cut_node, 5), 0.9 - 0.05 * (
+        cutpoint.blocks_removed if cutpoint else 0)
+
+
+@st.composite
+def decreasing_schedules(draw):
+    """A strictly decreasing latency schedule for a 3-block network."""
+    start = draw(st.floats(1.0, 10.0))
+    drops = [draw(st.floats(0.05, 2.0)) for _ in range(3)]
+    schedule = [start]
+    for d in drops:
+        schedule.append(schedule[-1] - d)
+    return schedule
+
+
+class TestAlgorithmMinimality:
+    @given(schedule=decreasing_schedules(),
+           deadline=st.floats(0.1, 12.0))
+    @settings(max_examples=40, deadline=None)
+    def test_selects_minimal_feasible_cut(self, schedule, deadline):
+        """Algorithm 1 picks the SHALLOWEST cut whose estimate meets the
+        deadline — never a deeper one (minimality), never an infeasible
+        one (soundness w.r.t. the estimate)."""
+        net = make_tiny_net("prop", blocks=3)
+        result = run_netcut([net], deadline,
+                            ScriptedEstimator(schedule), scripted_retrain)
+        cand = result.candidates[0]
+        feasible_ks = [k for k, ms in enumerate(schedule) if ms <= deadline]
+        if not feasible_ks:
+            assert not cand.feasible
+            return
+        assert cand.feasible
+        assert cand.blocks_removed == min(feasible_ks)
+        assert cand.estimated_latency_ms <= deadline
+
+    @given(schedule=decreasing_schedules())
+    @settings(max_examples=20, deadline=None)
+    def test_looser_deadline_never_cuts_deeper(self, schedule):
+        """Monotonicity: relaxing the deadline never removes more blocks."""
+        net = make_tiny_net("mono", blocks=3)
+        tight = run_netcut([net], schedule[-1],
+                           ScriptedEstimator(schedule), scripted_retrain)
+        loose = run_netcut([net], schedule[0],
+                           ScriptedEstimator(schedule), scripted_retrain)
+        assert (loose.candidates[0].blocks_removed
+                <= tight.candidates[0].blocks_removed)
+
+    @given(seed=st.integers(0, 100))
+    @settings(max_examples=15, deadline=None)
+    def test_best_is_argmax_accuracy(self, seed):
+        """The winner is exactly the most accurate feasible candidate."""
+        rng = np.random.default_rng(seed)
+        nets = [make_tiny_net(f"n{i}", blocks=2) for i in range(3)]
+        accs = {net.name: float(rng.uniform(0.3, 0.9)) for net in nets}
+
+        def retrain(base, cutpoint):
+            cut_node = cutpoint.cut_node if cutpoint else "pool"
+            return build_trn(base, cut_node, 5), accs[base.name]
+
+        result = run_netcut(nets, 5.0, ScriptedEstimator([6.0, 4.0, 3.0]),
+                            retrain)
+        assert result.best.accuracy == pytest.approx(max(accs.values()))
+
+    @given(schedule=decreasing_schedules())
+    @settings(max_examples=15, deadline=None)
+    def test_estimator_called_no_deeper_than_needed(self, schedule):
+        """Algorithm 1 probes cutpoints lazily: it never evaluates cuts
+        deeper than the first feasible one."""
+        calls = []
+
+        class Recording(ScriptedEstimator):
+            def estimate(self, base, cutpoint):
+                calls.append(cutpoint.blocks_removed if cutpoint else 0)
+                return super().estimate(base, cutpoint)
+
+        net = make_tiny_net("lazy", blocks=3)
+        deadline = schedule[2] + 1e-9  # 2 cuts needed
+        run_netcut([net], deadline, Recording(schedule), scripted_retrain)
+        assert max(calls) <= 2

@@ -1,0 +1,57 @@
+"""CLI integration tests: every subcommand end-to-end in --quick mode."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def cache(tmp_path_factory):
+    return str(tmp_path_factory.mktemp("clicache"))
+
+
+def run(cache, *argv, capsys=None):
+    code = main(["--quick", "--cache-dir", cache,
+                 "--networks", "mobilenet_v1_0.25",
+                 "--networks", "mobilenet_v1_0.5",
+                 *argv])
+    assert code == 0
+
+
+class TestCLIIntegration:
+    def test_measure(self, cache, capsys):
+        run(cache, "measure", "--deadline", "0.35")
+        out = capsys.readouterr().out
+        assert "mobilenet_v1_0.5" in out
+        assert "meets" in out or "misses" in out
+
+    def test_measure_single_net(self, cache, capsys):
+        run(cache, "measure", "--net", "mobilenet_v1_0.25")
+        out = capsys.readouterr().out
+        assert "mobilenet_v1_0.25" in out
+        assert "mobilenet_v1_0.5" not in out.splitlines()[-1]
+
+    def test_explore(self, cache, capsys):
+        run(cache, "explore")
+        out = capsys.readouterr().out
+        assert "TRNs explored" in out
+        assert "best TRN" in out
+
+    def test_netcut(self, cache, capsys):
+        run(cache, "netcut", "--deadline", "0.35",
+            "--estimator", "profiler")
+        out = capsys.readouterr().out
+        assert "winner:" in out
+        assert "blocks_removed" in out
+
+    def test_estimators(self, cache, capsys):
+        run(cache, "estimators")
+        out = capsys.readouterr().out
+        assert "profiler%" in out
+        assert "mobilenet_v1_0.5" in out
+
+    def test_pareto(self, cache, capsys):
+        run(cache, "pareto", "--deadline", "0.35")
+        out = capsys.readouterr().out
+        assert "Pareto frontier:" in out
+        assert "latency (ms)" in out

@@ -1,0 +1,100 @@
+"""Error-path coverage across the public API."""
+
+import numpy as np
+import pytest
+
+from repro.device.profiler import LatencyTable, LayerRecord
+from repro.device.quantize import QuantizedNetwork
+from repro.estimators import ProfilerEstimator
+from repro.hand import ControlLoopSpec
+from repro.netcut.explorer import Exploration, TRNRecord
+from repro.nn import Dense, Network, ReLU, Softmax
+
+from conftest import make_tiny_net
+
+
+class TestProfilerEstimatorErrors:
+    def test_table_with_only_head_records_rejected(self, tiny_net):
+        head_only = LatencyTable(
+            tiny_net.name, "dev",
+            (LayerRecord("logits", ("logits",), 0.1),), 0.5)
+        with pytest.raises(ValueError, match="feature-layer"):
+            ProfilerEstimator(tiny_net, head_only)
+
+    def test_estimate_ignores_unknown_removed_names(self, tiny_net,
+                                                    tiny_device):
+        from repro.device import profile_network
+
+        table = profile_network(tiny_net, tiny_device)
+        est = ProfilerEstimator(tiny_net, table)
+        # names not in the table simply contribute nothing
+        assert est.estimate({"no_such_node"}) == pytest.approx(
+            est.estimate(set()))
+
+
+class TestQuantizeErrors:
+    def test_bad_percentile_rejected(self, tiny_net, small_images):
+        with pytest.raises(ValueError, match="percentile"):
+            QuantizedNetwork(tiny_net, small_images, percentile=10.0)
+
+    def test_single_calibration_image_works(self, tiny_net, small_images):
+        qnet = QuantizedNetwork(tiny_net, small_images[:1])
+        out = qnet.forward(small_images)
+        assert np.isfinite(out).all()
+
+
+class TestControlLoopErrors:
+    def test_zero_budget_loop_rejected(self):
+        spec = ControlLoopSpec(preprocess_ms=10.0)  # eats the whole period
+        with pytest.raises(ValueError, match="infeasible"):
+            spec.visual_deadline_ms()
+
+
+class TestExplorationQueries:
+    def test_for_base_unknown_returns_empty(self):
+        ex = Exploration([TRNRecord("a", "a/1", "c", 1, 2, 0.5, 0.6, 0.1,
+                                    8, 100, 10)])
+        assert ex.for_base("missing") == []
+
+    def test_originals_empty_when_no_zero_cut(self):
+        ex = Exploration([TRNRecord("a", "a/1", "c", 3, 2, 0.5, 0.6, 0.1,
+                                    8, 100, 10)])
+        assert ex.originals() == []
+
+
+class TestNetworkOutputName:
+    def test_reassigning_output_changes_forward(self, small_images):
+        net = make_tiny_net()
+        probs = net.forward(small_images)
+        net.output_name = "logits"
+        logits = net.forward(small_images)
+        assert not np.allclose(probs, logits)
+        # softmax of the logits recovers the probabilities
+        e = np.exp(logits - logits.max(axis=1, keepdims=True))
+        np.testing.assert_allclose(e / e.sum(axis=1, keepdims=True), probs,
+                                   rtol=1e-5)
+
+
+class TestHeadTransplantErrors:
+    def test_shape_mismatch_detected(self, tiny_net):
+        from repro.train import build_head_network, transplant_head
+        from repro.trim import build_trn
+
+        trn = build_trn(tiny_net, "b2_add", 5)
+        wrong_head = build_head_network(99, 5)  # wrong input width
+        with pytest.raises(ValueError, match="mismatch"):
+            transplant_head(wrong_head, trn)
+
+    def test_missing_nodes_detected(self, tiny_net):
+        from repro.train import transplant_head
+
+        not_a_head = Network("x", (4,))
+        not_a_head.add("fc", Dense(3))
+        not_a_head.add("r", ReLU())
+        not_a_head.add("s", Softmax())
+        not_a_head.build(0)
+        from repro.trim import build_trn
+
+        trn = build_trn(tiny_net, "b2_add", 5)
+        with pytest.raises(KeyError):
+            transplant_head(not_a_head, trn)

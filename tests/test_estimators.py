@@ -1,0 +1,251 @@
+"""Tests for the latency estimators: SVR, OLS, features, profiler, analytical."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.device.profiler import profile_network
+from repro.estimators import (
+    SVR,
+    AnalyticalEstimator,
+    LinearRegression,
+    NetworkFeatures,
+    ProfilerEstimator,
+    cross_val_error,
+    extract_features,
+    grid_search,
+    kfold_indices,
+    random_search,
+    rbf_kernel,
+    relative_error,
+    train_test_split_indices,
+)
+from repro.trim import removed_node_set
+
+
+class TestRBFKernel:
+    def test_diagonal_is_one(self, rng):
+        x = rng.normal(size=(5, 3))
+        k = rbf_kernel(x, x, gamma=0.5)
+        np.testing.assert_allclose(np.diag(k), 1.0, rtol=1e-9)
+
+    def test_symmetric_psd(self, rng):
+        x = rng.normal(size=(10, 3))
+        k = rbf_kernel(x, x, gamma=0.2)
+        np.testing.assert_allclose(k, k.T, rtol=1e-9)
+        eigs = np.linalg.eigvalsh(k)
+        assert eigs.min() > -1e-8
+
+    def test_decays_with_distance(self):
+        a = np.array([[0.0]])
+        assert (rbf_kernel(a, np.array([[1.0]]), 1.0)
+                > rbf_kernel(a, np.array([[3.0]]), 1.0))
+
+
+class TestSVR:
+    def test_interpolates_smooth_function(self, rng):
+        x = np.linspace(0, 1, 30)[:, None]
+        y = 1.0 + np.sin(3 * x[:, 0])
+        model = SVR(c=1e4, gamma=2.0, epsilon=1e-4).fit(x, y)
+        pred = model.predict(x)
+        assert relative_error(pred, y) < 2.0
+
+    def test_beats_linear_on_nonlinear_target(self, rng):
+        x = rng.uniform(0, 1, size=(50, 3))
+        y = 1.0 + x[:, 0] ** 2 + np.sin(4 * x[:, 1])
+        xt = rng.uniform(0, 1, size=(80, 3))
+        yt = 1.0 + xt[:, 0] ** 2 + np.sin(4 * xt[:, 1])
+        svr_err = relative_error(SVR(c=1e4, gamma=1.0).fit(x, y).predict(xt), yt)
+        lin_err = relative_error(LinearRegression().fit(x, y).predict(xt), yt)
+        assert svr_err < lin_err
+
+    def test_epsilon_tube_limits_support_vectors(self, rng):
+        x = np.linspace(0, 1, 40)[:, None]
+        y = 2.0 + 0.1 * x[:, 0]
+        wide = SVR(c=100, gamma=1.0, epsilon=0.5).fit(x, y)
+        narrow = SVR(c=100, gamma=1.0, epsilon=1e-5).fit(x, y)
+        assert wide.support_count < narrow.support_count
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            SVR().predict(np.zeros((1, 2)))
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            SVR().fit(np.zeros(5), np.zeros(5))
+
+    def test_rejects_unknown_kernel(self):
+        with pytest.raises(ValueError):
+            SVR(kernel="poly")
+
+    def test_linear_kernel_fits_affine(self, rng):
+        x = rng.normal(size=(30, 2))
+        y = 5.0 + 2 * x[:, 0] - x[:, 1]
+        model = SVR(c=1e4, kernel="linear", epsilon=1e-4).fit(x, y)
+        assert relative_error(model.predict(x), y) < 3.0
+
+    @given(seed=st.integers(0, 100))
+    @settings(max_examples=15, deadline=None)
+    def test_constant_target_recovered(self, seed):
+        r = np.random.default_rng(seed)
+        x = r.normal(size=(15, 2))
+        y = np.full(15, 4.2)
+        model = SVR(c=100, gamma=0.5, epsilon=1e-3).fit(x, y)
+        np.testing.assert_allclose(model.predict(x), 4.2, rtol=0.05)
+
+
+class TestModelSelection:
+    def test_kfold_partitions(self):
+        pairs = kfold_indices(25, 5, rng=0)
+        assert len(pairs) == 5
+        all_val = np.concatenate([v for _, v in pairs])
+        assert sorted(all_val.tolist()) == list(range(25))
+        for train, val in pairs:
+            assert not set(train) & set(val)
+
+    def test_kfold_bad_k(self):
+        with pytest.raises(ValueError):
+            kfold_indices(5, 6)
+
+    def test_cross_val_error_reasonable(self, rng):
+        x = rng.normal(size=(40, 2))
+        y = 3.0 + x[:, 0]
+        err = cross_val_error(lambda: LinearRegression(), x, y, k=5)
+        assert err < 5.0
+
+    def test_grid_search_finds_better_gamma(self, rng):
+        x = rng.uniform(0, 1, size=(40, 2))
+        y = 1.0 + np.sin(6 * x[:, 0])
+        result = grid_search(
+            lambda gamma, c: SVR(c=c, gamma=gamma),
+            {"gamma": [1e-3, 1.0], "c": [100.0]}, x, y, k=5)
+        assert result.best_params["gamma"] == 1.0
+        assert len(result.table) == 2
+
+    def test_random_search_samples_in_range(self, rng):
+        x = rng.uniform(0, 1, size=(30, 2))
+        y = 1.0 + x[:, 0]
+        result = random_search(
+            lambda gamma, c: SVR(c=c, gamma=gamma),
+            {"gamma": (1e-3, 10.0), "c": (1.0, 1e4)}, x, y,
+            n_samples=4, k=3)
+        assert len(result.table) == 4
+        for params, _ in result.table:
+            assert 1e-3 <= params["gamma"] <= 10.0
+
+    def test_relative_error_zero_for_exact(self):
+        assert relative_error(np.ones(5), np.ones(5)) == 0.0
+
+    def test_train_test_split_paper_protocol(self):
+        train, test = train_test_split_indices(148, 0.2, rng=0)
+        assert len(train) == 30  # ~20%
+        assert len(train) + len(test) == 148
+        assert not set(train.tolist()) & set(test.tolist())
+
+
+class TestFeatures:
+    def test_extraction(self, tiny_net):
+        feats = extract_features(tiny_net, base_latency_ms=1.5)
+        assert feats.base_latency_ms == 1.5
+        assert feats.total_flops == tiny_net.total_flops()
+        assert feats.total_params == tiny_net.total_params()
+        assert feats.weighted_layers == 5
+        arr = feats.as_array()
+        assert arr.shape == (5,)
+        assert arr[0] == 1.5
+
+    def test_filter_size_grows_with_width(self, tiny_net):
+        from conftest import make_tiny_net
+
+        wide = make_tiny_net("wide")
+        for node in wide.nodes.values():
+            pass  # structure identical; compare against a trimmed subgraph
+        sub = tiny_net.subgraph("b1_relu")
+        f_full = extract_features(tiny_net, 1.0)
+        f_sub = extract_features(sub, 1.0)
+        assert f_sub.total_filter_size < f_full.total_filter_size
+        assert f_sub.weighted_layers < f_full.weighted_layers
+
+
+class TestProfilerEstimator:
+    def test_full_network_estimate_is_end_to_end(self, tiny_net, tiny_device):
+        table = profile_network(tiny_net, tiny_device)
+        est = ProfilerEstimator(tiny_net, table)
+        assert est.estimate(set()) == pytest.approx(table.end_to_end_ms)
+
+    def test_estimate_decreases_with_removal(self, tiny_net, tiny_device):
+        table = profile_network(tiny_net, tiny_device)
+        est = ProfilerEstimator(tiny_net, table)
+        shallow = est.estimate(removed_node_set(tiny_net, "b2_add"))
+        deep = est.estimate(removed_node_set(tiny_net, "b1_relu"))
+        assert deep < shallow < table.end_to_end_ms
+
+    def test_ratio_beats_raw_difference(self, tiny_net, tiny_device):
+        """The paper's rationale: raw subtraction inherits event overhead."""
+        from repro.device.latency import network_latency
+        from repro.trim import build_trn
+
+        table = profile_network(tiny_net, tiny_device)
+        est = ProfilerEstimator(tiny_net, table)
+        removed = removed_node_set(tiny_net, "b2_add")
+        trn = build_trn(tiny_net, "b2_add", 5)
+        # compare against the noise-free model of the trimmed *feature*
+        # extractor; ratio should be closer than the raw difference
+        truth = network_latency(tiny_net.subgraph("b2_add"),
+                                tiny_device).total_ms
+        ratio_err = abs(est.estimate(removed) - truth)
+        raw_err = abs(est.estimate_raw_difference(removed) - truth)
+        assert ratio_err < raw_err
+
+    def test_wrong_network_rejected(self, tiny_net, tiny_device):
+        from conftest import make_tiny_net
+
+        table = profile_network(tiny_net, tiny_device)
+        other = make_tiny_net("other")
+        with pytest.raises(ValueError):
+            ProfilerEstimator(other, table)
+
+
+class TestAnalyticalEstimator:
+    def _fake_features(self, rng, n=30):
+        feats = []
+        lat = []
+        for i in range(n):
+            flops = float(rng.uniform(1e5, 1e7))
+            layers = int(rng.integers(5, 50))
+            feats.append(NetworkFeatures(
+                f"net{i}", base_latency_ms=2.0, total_flops=int(flops),
+                total_params=int(flops / 10), weighted_layers=layers,
+                total_filter_size=layers * 100))
+            lat.append(0.1 + 4e-8 * flops + 0.01 * layers
+                       + 0.2 * np.sin(flops / 2e6))
+        return feats, np.array(lat)
+
+    def test_fit_predict(self, rng):
+        feats, lat = self._fake_features(rng)
+        model = AnalyticalEstimator(gamma=0.5, c=1e4).fit(feats, lat)
+        pred = model.predict(feats)
+        assert relative_error(pred, lat) < 10.0
+
+    def test_predict_one(self, rng):
+        feats, lat = self._fake_features(rng)
+        model = AnalyticalEstimator(gamma=0.5, c=1e4).fit(feats, lat)
+        assert isinstance(model.predict_one(feats[0]), float)
+
+    def test_unfitted_raises(self, rng):
+        feats, _ = self._fake_features(rng, 3)
+        with pytest.raises(RuntimeError):
+            AnalyticalEstimator().predict(feats)
+
+    def test_tune_selects_hyperparameters(self, rng):
+        feats, lat = self._fake_features(rng, 25)
+        model = AnalyticalEstimator()
+        model.tune(feats, lat, gammas=(0.01, 1.0), cs=(100.0,), folds=5)
+        assert model.search_result is not None
+        assert model.gamma in (0.01, 1.0)
+
+    def test_linear_baseline_mode(self, rng):
+        feats, lat = self._fake_features(rng)
+        model = AnalyticalEstimator(kernel="linear-ols").fit(feats, lat)
+        assert np.isfinite(model.predict(feats)).all()

@@ -1,0 +1,87 @@
+"""Additional explorer and workbench coverage: iterative mode, caching."""
+
+import numpy as np
+import pytest
+
+from repro.data import make_hands_dataset
+from repro.device.spec import DeviceSpec
+from repro.experiments import ExperimentConfig, Workbench
+from repro.netcut import explore_blockwise
+from repro.train import PretrainConfig
+
+from test_train import make_tiny_net32
+
+
+@pytest.fixture(scope="module")
+def device():
+    return DeviceSpec("t", 10, 1, 5, 1e4)
+
+
+@pytest.fixture(scope="module")
+def hands():
+    return make_hands_dataset(50, seed=6).split(0.7, rng=0)
+
+
+class TestIterativeExploration:
+    def test_iterative_has_more_records(self, device, hands):
+        train, test = hands
+        net = make_tiny_net32()
+        block = explore_blockwise([net], train, test, device,
+                                  head_epochs=5, iterative=False)
+        it = explore_blockwise([net], train, test, device,
+                               head_epochs=5, iterative=True)
+        assert it.networks_trained > block.networks_trained
+
+    def test_iterative_includes_intrablock_cuts(self, device, hands):
+        train, test = hands
+        net = make_tiny_net32()
+        it = explore_blockwise([net], train, test, device,
+                               head_epochs=5, iterative=True)
+        blocks_removed = {r.blocks_removed for r in it.records}
+        assert None in blocks_removed  # intra-block cutpoints present
+
+
+class TestWorkbenchCaching:
+    @pytest.fixture(scope="class")
+    def wb(self, tmp_path_factory):
+        config = ExperimentConfig(networks=("mobilenet_v1_0.25",),
+                                  hands_images=40, head_epochs=4,
+                                  deadline_ms=0.3)
+        return Workbench(
+            config, cache_dir=str(tmp_path_factory.mktemp("wbc")),
+            pretrain_config=PretrainConfig(n_images=40, epochs=1,
+                                           batch_size=16))
+
+    def test_latency_dataset_disk_roundtrip(self, wb):
+        first = wb.latency_dataset()
+        wb._latency_points = None  # force reload from disk
+        second = wb.latency_dataset()
+        assert len(first) == len(second)
+        for a, b in zip(first, second):
+            assert a.trn_name == b.trn_name
+            assert a.measured_ms == pytest.approx(b.measured_ms)
+            np.testing.assert_allclose(a.features.as_array(),
+                                       b.features.as_array())
+
+    def test_cache_is_device_specific(self, wb, tmp_path):
+        """Different devices must not share exploration caches."""
+        other_device = DeviceSpec("other-device", 5, 0.5, 10, 1e4)
+        other = Workbench(wb.config, device=other_device,
+                          cache_dir=wb.cache_dir,
+                          pretrain_config=wb.pretrain_config)
+        assert other._cache_path("latency") != wb._cache_path("latency")
+
+    def test_netcut_linear_estimator(self, wb):
+        result = wb.netcut("linear")
+        assert result.estimator_name == "linear"
+        assert result.candidates
+
+    def test_analytical_tuned_runs(self, wb):
+        model, test_idx = wb.analytical_model("rbf", tune=True)
+        assert model.search_result is not None
+        assert len(test_idx) > 0
+
+    def test_iterative_exploration_cached(self, wb):
+        a = wb.iterative_exploration("mobilenet_v1_0.25")
+        b = wb.iterative_exploration("mobilenet_v1_0.25")
+        assert a.records == b.records

@@ -1,0 +1,189 @@
+"""Tests for the related-work extensions: BranchyNet and NetAdapt."""
+
+import numpy as np
+import pytest
+
+from repro.data import make_hands_dataset
+from repro.device.latency import network_latency
+from repro.extensions import NetAdaptConfig, build_branchy, run_netadapt
+from repro.extensions.branchynet import BranchyNetwork, Exit
+from repro.extensions.netadapt import prune_output_channels
+from repro.nn import Conv2D
+from repro.train import build_head_network
+from repro.zoo import build_mobilenet_v1
+
+from test_train import make_tiny_net32
+
+
+@pytest.fixture(scope="module")
+def hands():
+    return make_hands_dataset(80, seed=5).split(0.75, rng=0)
+
+
+@pytest.fixture(scope="module")
+def tiny32():
+    return make_tiny_net32()
+
+
+class TestBranchyNetwork:
+    @pytest.fixture(scope="class")
+    def branchy(self, tiny32, tiny_device_cls, hands):
+        train, _ = hands
+        return build_branchy(tiny32, tiny_device_cls, train.x, train.y,
+                             exit_blocks=[0, 1], head_epochs=10)
+
+    @pytest.fixture(scope="class")
+    def tiny_device_cls(self):
+        from repro.device.spec import DeviceSpec
+
+        return DeviceSpec("t", 10, 1, 5, 1e4)
+
+    def test_exit_count_and_latency_ordering(self, branchy):
+        assert len(branchy.exits) == 2
+        # later exits cost more
+        assert (branchy.exits[0].exit_latency_ms
+                < branchy.exits[1].exit_latency_ms)
+
+    def test_route_partitions_samples(self, branchy, hands):
+        _, test = hands
+        preds, chosen = branchy.route(test.x, entropy_threshold=1.55)
+        assert preds.shape == (len(test), 5)
+        assert set(np.unique(chosen)) <= {0, 1}
+        np.testing.assert_allclose(preds.sum(axis=1), 1.0, rtol=1e-4)
+
+    def test_zero_threshold_uses_last_exit(self, branchy, hands):
+        _, test = hands
+        _, chosen = branchy.route(test.x, entropy_threshold=0.0)
+        assert (chosen == 1).all()
+
+    def test_huge_threshold_uses_first_exit(self, branchy, hands):
+        _, test = hands
+        _, chosen = branchy.route(test.x, entropy_threshold=100.0)
+        assert (chosen == 0).all()
+
+    def test_latency_monotone_in_threshold(self, branchy, hands):
+        _, test = hands
+        curve = branchy.tradeoff_curve(test.x, test.y,
+                                       np.array([0.0, 1.55, 100.0]))
+        lats = [row[2] for row in curve]
+        assert lats[0] >= lats[1] >= lats[2]
+
+    def test_empty_exits_rejected(self, tiny32):
+        with pytest.raises(ValueError):
+            BranchyNetwork(tiny32, [])
+
+    def test_exit_latency_is_trn_latency(self, branchy, tiny32,
+                                         tiny_device_cls):
+        """prefix + head latency must equal the matching TRN's latency."""
+        from repro.trim import build_trn
+
+        for e in branchy.exits:
+            trn = build_trn(tiny32, e.node, 5)
+            expected = network_latency(trn, tiny_device_cls).total_ms
+            assert e.exit_latency_ms == pytest.approx(expected, rel=1e-6)
+
+
+class TestPruneSurgery:
+    @pytest.fixture
+    def mnv1(self):
+        return build_mobilenet_v1(0.5, input_shape=(16, 16, 3),
+                                  num_classes=5).build(0)
+
+    def test_prune_propagates_shapes(self, mnv1):
+        conv = mnv1.nodes["block3_pw_conv"].layer
+        keep = np.arange(conv.filters - 4)
+        prune_output_channels(mnv1, "block3_pw_conv", keep)
+        assert mnv1.shape_of("block3_pw_relu")[-1] == len(keep)
+        x = np.random.default_rng(0).normal(size=(2, 16, 16, 3)).astype(
+            np.float32)
+        out = mnv1.forward(x)
+        assert out.shape == (2, 5)
+        np.testing.assert_allclose(out.sum(axis=1), 1.0, rtol=1e-4)
+
+    def test_prune_last_block_reaches_dense_head(self, mnv1):
+        conv = mnv1.nodes["block13_pw_conv"].layer
+        keep = np.arange(conv.filters // 2)
+        prune_output_channels(mnv1, "block13_pw_conv", keep)
+        assert mnv1.nodes["logits"].layer.params["w"].value.shape[0] == \
+            len(keep)
+        x = np.random.default_rng(0).normal(size=(1, 16, 16, 3)).astype(
+            np.float32)
+        assert mnv1.forward(x).shape == (1, 5)
+
+    def test_identity_keep_preserves_outputs(self, mnv1):
+        x = np.random.default_rng(1).normal(size=(2, 16, 16, 3)).astype(
+            np.float32)
+        before = mnv1.forward(x)
+        conv = mnv1.nodes["block5_pw_conv"].layer
+        prune_output_channels(mnv1, "block5_pw_conv",
+                              np.arange(conv.filters))
+        np.testing.assert_allclose(mnv1.forward(x), before, rtol=1e-5)
+
+    def test_prune_reduces_latency(self, mnv1, tiny_device):
+        before = network_latency(mnv1, tiny_device).total_ms
+        conv = mnv1.nodes["block13_pw_conv"].layer
+        prune_output_channels(mnv1, "block13_pw_conv",
+                              np.arange(4))
+        after = network_latency(mnv1, tiny_device).total_ms
+        assert after < before
+
+    def test_rejects_non_conv(self, mnv1):
+        with pytest.raises(ValueError):
+            prune_output_channels(mnv1, "block3_pw_bn", np.arange(2))
+
+    def test_rejects_empty_keep(self, mnv1):
+        with pytest.raises(ValueError):
+            prune_output_channels(mnv1, "block3_pw_conv", np.array([]))
+
+    def test_rejects_branching_topology(self, tiny32):
+        # tiny32's b1_relu feeds both b2_conv and the residual add
+        with pytest.raises(ValueError, match="chain"):
+            prune_output_channels(tiny32.copy(), "b1_conv", np.arange(2))
+
+
+class TestRunNetAdapt:
+    @pytest.fixture(scope="class")
+    def setup(self, hands):
+        from repro.device.spec import DeviceSpec
+        from repro.trim import block_boundaries, build_trn
+
+        device = DeviceSpec("t", 10, 1, 5, 1e4, weight_cache_factor=0.1)
+        base = build_mobilenet_v1(0.5, input_shape=(16, 16, 3),
+                                  num_classes=20)
+        base.build(0)
+        cut0 = block_boundaries(base)[-1].output_node
+        trn = build_trn(base, cut0, 5)
+        return trn, device, hands
+
+    def test_reaches_budget(self, setup):
+        trn, device, (train, test) = setup
+        start = network_latency(trn, device).total_ms
+        budget = start * 0.9
+        result = run_netadapt(trn, budget, device, train.x, train.y,
+                              test.x, test.y,
+                              NetAdaptConfig(step_ms=start * 0.04,
+                                             head_epochs_short=4,
+                                             head_epochs_final=6))
+        assert result.latency_ms <= budget
+        assert result.history
+        assert result.candidates_trained >= len(result.history)
+        assert 0 < result.accuracy <= 1
+
+    def test_original_untouched(self, setup):
+        trn, device, (train, test) = setup
+        before = trn.total_params()
+        start = network_latency(trn, device).total_ms
+        run_netadapt(trn, start * 0.95, device, train.x, train.y,
+                     test.x, test.y,
+                     NetAdaptConfig(step_ms=start * 0.04,
+                                    head_epochs_short=3,
+                                    head_epochs_final=3))
+        assert trn.total_params() == before
+
+    def test_impossible_budget_raises(self, setup):
+        trn, device, (train, test) = setup
+        with pytest.raises(RuntimeError):
+            run_netadapt(trn, 1e-6, device, train.x, train.y, test.x,
+                         test.y,
+                         NetAdaptConfig(step_ms=0.01, head_epochs_short=2,
+                                        head_epochs_final=2))

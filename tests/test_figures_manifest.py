@@ -1,0 +1,48 @@
+"""Tests tying the experiment manifest to the actual benchmark files."""
+
+import os
+
+import pytest
+
+from repro.figures import EXPERIMENTS, experiment
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+class TestManifest:
+    def test_lookup(self):
+        assert experiment("fig07").paper_ref == "Figure 7"
+        with pytest.raises(KeyError):
+            experiment("fig99")
+
+    def test_ids_unique(self):
+        ids = [e.id for e in EXPERIMENTS]
+        assert len(ids) == len(set(ids))
+
+    def test_every_paper_figure_covered(self):
+        """Figures 1 and 4-10 of the paper plus §III-B4 and §IV-B2."""
+        refs = {e.paper_ref for e in EXPERIMENTS}
+        for needed in ("Figure 1", "Figure 4", "Figure 5", "Figure 6",
+                       "Figure 7", "Figure 8", "Figure 9",
+                       "Figure 10 / Algorithm 1", "Section III-B4",
+                       "Section IV-B2"):
+            assert needed in refs, needed
+
+    @pytest.mark.parametrize("exp", EXPERIMENTS, ids=lambda e: e.id)
+    def test_benchmark_file_exists(self, exp):
+        assert os.path.exists(os.path.join(REPO_ROOT, exp.benchmark)), \
+            exp.benchmark
+
+    @pytest.mark.parametrize("exp", EXPERIMENTS, ids=lambda e: e.id)
+    def test_modules_importable(self, exp):
+        import importlib
+
+        for module in exp.modules:
+            importlib.import_module(module)
+
+    def test_cli_figures_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        assert "fig07" in out and "Figure 10" in out

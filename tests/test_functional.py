@@ -1,0 +1,147 @@
+"""Unit tests for repro.nn.functional primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import functional as F
+
+
+class TestConvOutputSize:
+    def test_unit_stride_no_pad(self):
+        assert F.conv_output_size(8, 3, 1, 0) == 6
+
+    def test_stride_two(self):
+        assert F.conv_output_size(8, 3, 2, 0) == 3
+
+    def test_with_padding(self):
+        assert F.conv_output_size(8, 3, 1, 1) == 8
+
+
+class TestSamePadding:
+    def test_stride_one_odd_kernel(self):
+        assert F.same_padding(8, 3, 1) == (1, 1)
+
+    def test_stride_two(self):
+        before, after = F.same_padding(8, 3, 2)
+        out = (8 + before + after - 3) // 2 + 1
+        assert out == 4  # ceil(8/2)
+
+    def test_asymmetric(self):
+        before, after = F.same_padding(8, 2, 2)
+        assert (before, after) == (0, 0)
+
+    @given(size=st.integers(1, 64), kernel=st.integers(1, 7),
+           stride=st.integers(1, 4))
+    @settings(max_examples=60, deadline=None)
+    def test_property_output_is_ceil(self, size, kernel, stride):
+        before, after = F.same_padding(size, kernel, stride)
+        padded = size + before + after
+        if padded >= kernel:
+            out = (padded - kernel) // stride + 1
+            assert out == -(-size // stride)
+
+
+class TestIm2Col:
+    def test_shape(self, rng):
+        x = rng.normal(size=(2, 6, 6, 3))
+        cols = F.im2col(x, 3, 3, 1)
+        assert cols.shape == (2, 4, 4, 27)
+
+    def test_values_match_manual_patch(self, rng):
+        x = rng.normal(size=(1, 5, 5, 2))
+        cols = F.im2col(x, 3, 3, 1)
+        manual = x[0, 1:4, 2:5, :].reshape(-1)
+        np.testing.assert_allclose(cols[0, 1, 2], manual)
+
+    def test_stride_two_picks_correct_windows(self, rng):
+        x = rng.normal(size=(1, 6, 6, 1))
+        cols = F.im2col(x, 2, 2, 2)
+        assert cols.shape == (1, 3, 3, 4)
+        np.testing.assert_allclose(cols[0, 1, 1],
+                                   x[0, 2:4, 2:4, 0].reshape(-1))
+
+    def test_conv_equivalence_with_explicit_loop(self, rng):
+        """im2col @ w must equal a naive convolution."""
+        x = rng.normal(size=(1, 5, 5, 2))
+        w = rng.normal(size=(3, 3, 2, 4))
+        cols = F.im2col(x, 3, 3, 1)
+        fast = cols @ w.reshape(-1, 4)
+        slow = np.zeros((1, 3, 3, 4))
+        for i in range(3):
+            for j in range(3):
+                patch = x[0, i:i + 3, j:j + 3, :]
+                slow[0, i, j] = np.tensordot(patch, w, axes=3)
+        np.testing.assert_allclose(fast, slow, rtol=1e-6)
+
+
+class TestCol2Im:
+    def test_adjoint_property(self, rng):
+        """col2im is the adjoint of im2col: <im2col(x), c> == <x, col2im(c)>."""
+        x = rng.normal(size=(2, 6, 6, 3))
+        cols = rng.normal(size=(2, 4, 4, 27))
+        lhs = float(np.sum(F.im2col(x, 3, 3, 1) * cols))
+        rhs = float(np.sum(x * F.col2im(cols, x.shape, 3, 3, 1)))
+        assert lhs == pytest.approx(rhs, rel=1e-6)
+
+    def test_adjoint_property_strided(self, rng):
+        x = rng.normal(size=(1, 8, 8, 2))
+        cols = rng.normal(size=(1, 3, 3, 8))
+        lhs = float(np.sum(F.im2col(x, 2, 2, 3) * cols))
+        rhs = float(np.sum(x * F.col2im(cols, x.shape, 2, 2, 3)))
+        assert lhs == pytest.approx(rhs, rel=1e-6)
+
+
+class TestActivations:
+    def test_relu(self):
+        np.testing.assert_allclose(F.relu(np.array([-1.0, 0.0, 2.0])),
+                                   [0.0, 0.0, 2.0])
+
+    def test_relu6_clips(self):
+        np.testing.assert_allclose(F.relu6(np.array([-1.0, 3.0, 9.0])),
+                                   [0.0, 3.0, 6.0])
+
+    def test_relu_grad_masks(self):
+        x = np.array([-1.0, 1.0])
+        g = np.array([5.0, 5.0])
+        np.testing.assert_allclose(F.relu_grad(x, g), [0.0, 5.0])
+
+    def test_relu6_grad_masks_both_ends(self):
+        x = np.array([-1.0, 3.0, 7.0])
+        g = np.ones(3)
+        np.testing.assert_allclose(F.relu6_grad(x, g), [0.0, 1.0, 0.0])
+
+    def test_softmax_rows_sum_to_one(self, rng):
+        p = F.softmax(rng.normal(size=(4, 7)))
+        np.testing.assert_allclose(p.sum(axis=-1), np.ones(4), rtol=1e-6)
+
+    def test_softmax_shift_invariance(self, rng):
+        x = rng.normal(size=(3, 5))
+        np.testing.assert_allclose(F.softmax(x), F.softmax(x + 100.0),
+                                   rtol=1e-6)
+
+    def test_softmax_extreme_values_stable(self):
+        p = F.softmax(np.array([[1000.0, -1000.0]]))
+        assert np.isfinite(p).all()
+        assert p[0, 0] == pytest.approx(1.0)
+
+    def test_sigmoid_symmetry(self, rng):
+        x = rng.normal(size=10)
+        np.testing.assert_allclose(F.sigmoid(x) + F.sigmoid(-x),
+                                   np.ones(10), rtol=1e-6)
+
+    def test_sigmoid_extreme_stable(self):
+        out = F.sigmoid(np.array([-1000.0, 1000.0]))
+        assert np.isfinite(out).all()
+
+
+class TestPadSame:
+    def test_identity_when_no_padding_needed(self, rng):
+        x = rng.normal(size=(1, 4, 4, 1))
+        assert F.pad_same(x, (1, 1), (1, 1)) is x
+
+    def test_pads_to_expected_size(self, rng):
+        x = rng.normal(size=(1, 5, 5, 2))
+        xp = F.pad_same(x, (3, 3), (1, 1))
+        assert xp.shape == (1, 7, 7, 2)

@@ -1,0 +1,211 @@
+"""Numeric gradient checks for every differentiable layer.
+
+Each test compares the analytic backward pass against central finite
+differences, for both parameter gradients and input gradients. All checks
+run in float64 via a scalar loss ``sum(out * probe)``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Add,
+    AvgPool2D,
+    BatchNorm,
+    Concat,
+    Conv2D,
+    Dense,
+    DepthwiseConv2D,
+    GlobalAvgPool,
+    MaxPool2D,
+    ReLU,
+    ReLU6,
+    Softmax,
+)
+
+EPS = 1e-3
+TOL = 2e-2  # float32 storage limits precision
+
+
+def build(layer, in_shapes=((6, 6, 3),), seed=3):
+    layer.build(list(in_shapes), np.random.default_rng(seed))
+    return layer
+
+
+def check_input_grad(layer, inputs, training=False, index=0):
+    rng = np.random.default_rng(7)
+    out = layer.forward([x.copy() for x in inputs], training=training)
+    probe = rng.normal(size=out.shape)
+    grads = layer.backward(probe)
+    analytic = grads[index]
+
+    x = inputs[index]
+    flat = x.reshape(-1)
+    for pos in rng.choice(flat.size, size=min(6, flat.size), replace=False):
+        orig = flat[pos]
+        flat[pos] = orig + EPS
+        up = float(np.sum(layer.forward(
+            [a.copy() for a in inputs], training=training) * probe))
+        flat[pos] = orig - EPS
+        down = float(np.sum(layer.forward(
+            [a.copy() for a in inputs], training=training) * probe))
+        flat[pos] = orig
+        numeric = (up - down) / (2 * EPS)
+        assert analytic.reshape(-1)[pos] == pytest.approx(
+            numeric, rel=TOL, abs=1e-4)
+
+
+def check_param_grad(layer, inputs, pname, training=False):
+    rng = np.random.default_rng(11)
+    layer.zero_grad()
+    out = layer.forward([x.copy() for x in inputs], training=training)
+    probe = rng.normal(size=out.shape)
+    layer.backward(probe)
+    param = layer.params[pname]
+    analytic = param.grad.reshape(-1)
+
+    flat = param.value.reshape(-1)
+    for pos in rng.choice(flat.size, size=min(6, flat.size), replace=False):
+        orig = flat[pos]
+        flat[pos] = orig + EPS
+        up = float(np.sum(layer.forward(
+            [a.copy() for a in inputs], training=training) * probe))
+        flat[pos] = orig - EPS
+        down = float(np.sum(layer.forward(
+            [a.copy() for a in inputs], training=training) * probe))
+        flat[pos] = orig
+        numeric = (up - down) / (2 * EPS)
+        assert analytic[pos] == pytest.approx(numeric, rel=TOL, abs=1e-4)
+
+
+@pytest.fixture
+def x_img(rng):
+    return rng.normal(size=(2, 6, 6, 3)).astype(np.float32)
+
+
+class TestConvGradients:
+    def test_input_grad_same(self, x_img):
+        check_input_grad(build(Conv2D(4, 3, padding="same")), [x_img])
+
+    def test_input_grad_strided(self, x_img):
+        check_input_grad(build(Conv2D(4, 3, stride=2)), [x_img])
+
+    def test_input_grad_valid(self, x_img):
+        check_input_grad(build(Conv2D(4, 3, padding="valid")), [x_img])
+
+    def test_weight_grad(self, x_img):
+        check_param_grad(build(Conv2D(4, 3)), [x_img], "w")
+
+    def test_bias_grad(self, x_img):
+        check_param_grad(build(Conv2D(4, 3)), [x_img], "b")
+
+    def test_rect_kernel_grads(self, x_img):
+        layer = build(Conv2D(2, (1, 5)))
+        check_input_grad(layer, [x_img])
+        check_param_grad(layer, [x_img], "w")
+
+
+class TestDepthwiseGradients:
+    def test_input_grad(self, x_img):
+        check_input_grad(build(DepthwiseConv2D(3)), [x_img])
+
+    def test_input_grad_strided(self, x_img):
+        check_input_grad(build(DepthwiseConv2D(3, stride=2)), [x_img])
+
+    def test_weight_grad(self, x_img):
+        check_param_grad(build(DepthwiseConv2D(3)), [x_img], "w")
+
+
+class TestDenseGradients:
+    def test_input_and_params(self, rng):
+        x = rng.normal(size=(4, 7)).astype(np.float32)
+        layer = build(Dense(5), [(7,)])
+        check_input_grad(layer, [x])
+        check_param_grad(layer, [x], "w")
+        check_param_grad(layer, [x], "b")
+
+
+class TestBatchNormGradients:
+    def test_input_grad_training(self, rng):
+        x = rng.normal(size=(8, 5)).astype(np.float32)
+        check_input_grad(build(BatchNorm(), [(5,)]), [x], training=True)
+
+    def test_input_grad_inference(self, rng):
+        layer = build(BatchNorm(), [(5,)])
+        warm = rng.normal(size=(20, 5)).astype(np.float32)
+        layer.forward([warm], training=True)
+        x = rng.normal(size=(4, 5)).astype(np.float32)
+        check_input_grad(layer, [x], training=False)
+
+    def test_gamma_beta_grads(self, rng):
+        x = rng.normal(size=(8, 5)).astype(np.float32)
+        layer = build(BatchNorm(), [(5,)])
+        check_param_grad(layer, [x], "gamma", training=True)
+        check_param_grad(layer, [x], "beta", training=True)
+
+
+class TestPoolingGradients:
+    def test_maxpool(self, rng):
+        x = rng.normal(size=(2, 6, 6, 2)).astype(np.float32)
+        check_input_grad(MaxPool2D(2), [x])
+
+    def test_maxpool_same_padding(self, rng):
+        x = rng.normal(size=(2, 5, 5, 2)).astype(np.float32)
+        check_input_grad(MaxPool2D(3, 2, "same"), [x])
+
+    def test_avgpool(self, rng):
+        x = rng.normal(size=(2, 6, 6, 2)).astype(np.float32)
+        check_input_grad(AvgPool2D(2), [x])
+
+    def test_global_avg_pool(self, rng):
+        x = rng.normal(size=(2, 4, 4, 3)).astype(np.float32)
+        check_input_grad(GlobalAvgPool(), [x])
+
+
+class TestElementwiseGradients:
+    def test_relu(self, rng):
+        x = rng.normal(size=(3, 7)).astype(np.float32) + 0.05
+        check_input_grad(ReLU(), [x])
+
+    def test_relu6(self, rng):
+        x = (rng.normal(size=(3, 7)) * 4).astype(np.float32) + 0.05
+        check_input_grad(ReLU6(), [x])
+
+    def test_softmax(self, rng):
+        x = rng.normal(size=(3, 5)).astype(np.float32)
+        check_input_grad(Softmax(), [x])
+
+    def test_add_both_inputs(self, rng):
+        a = rng.normal(size=(2, 4)).astype(np.float32)
+        b = rng.normal(size=(2, 4)).astype(np.float32)
+        check_input_grad(Add(), [a, b], index=0)
+        check_input_grad(Add(), [a, b], index=1)
+
+    def test_concat_both_inputs(self, rng):
+        a = rng.normal(size=(2, 3, 3, 2)).astype(np.float32)
+        b = rng.normal(size=(2, 3, 3, 4)).astype(np.float32)
+        check_input_grad(Concat(), [a, b], index=0)
+        check_input_grad(Concat(), [a, b], index=1)
+
+
+class TestEndToEndGradient:
+    def test_whole_network_gradient(self, tiny_net, small_images, soft_labels):
+        """Numeric check through the full tiny network and loss."""
+        from repro.nn.losses import softmax_cross_entropy
+
+        tiny_net.output_name = "logits"
+        tiny_net.zero_grad()
+        tiny_net.forward_backward(small_images,
+                                  loss_fn=softmax_cross_entropy,
+                                  y=soft_labels, training=True)
+        p = tiny_net.nodes["b1_conv"].layer.params["w"]
+        analytic = p.grad[0, 0, 0, 0]
+        p.value[0, 0, 0, 0] += EPS
+        up, _ = softmax_cross_entropy(
+            tiny_net.forward(small_images, training=True), soft_labels)
+        p.value[0, 0, 0, 0] -= 2 * EPS
+        down, _ = softmax_cross_entropy(
+            tiny_net.forward(small_images, training=True), soft_labels)
+        p.value[0, 0, 0, 0] += EPS
+        numeric = (up - down) / (2 * EPS)
+        assert analytic == pytest.approx(numeric, rel=5e-2, abs=1e-4)

@@ -1,0 +1,195 @@
+"""Tests for the robotic prosthetic hand application package."""
+
+import numpy as np
+import pytest
+
+from repro.hand import (
+    DEFAULT_DEADLINE_MS,
+    EMG_CHANNELS,
+    ControlLoopSpec,
+    EMGClassifier,
+    emg_features,
+    entropy,
+    fuse_product,
+    fuse_sequence,
+    fuse_weighted,
+    grasp_by_name,
+    joint_targets,
+    make_emg_dataset,
+    simulate_reach,
+    synth_emg_window,
+)
+from repro.hand.grasps import GRASP_TYPES
+
+
+class TestGrasps:
+    def test_five_grasp_types(self):
+        assert len(GRASP_TYPES) == 5
+        assert [g.index for g in GRASP_TYPES] == list(range(5))
+
+    def test_lookup(self):
+        assert grasp_by_name("palmar_pinch").index == 4
+        with pytest.raises(KeyError):
+            grasp_by_name("fist")
+
+    def test_joint_targets_mixture(self):
+        one_hot = np.zeros(5)
+        one_hot[0] = 1.0  # open palm: all joints open
+        np.testing.assert_allclose(joint_targets(one_hot), 0.0)
+        uniform = np.full(5, 0.2)
+        mixed = joint_targets(uniform)
+        assert mixed.shape == (5,)
+        assert (mixed > 0).all()
+
+    def test_joint_targets_bad_shape(self):
+        with pytest.raises(ValueError):
+            joint_targets(np.ones(4))
+
+
+class TestEMG:
+    def test_window_shape(self, rng):
+        window = synth_emg_window(1, rng, samples=64)
+        assert window.signal.shape == (64, EMG_CHANNELS)
+
+    def test_bad_grasp_index(self, rng):
+        with pytest.raises(ValueError):
+            synth_emg_window(9, rng)
+
+    def test_activation_scales_with_synergy(self, rng):
+        low = synth_emg_window(0, rng)   # open palm: low muscle tone
+        high = synth_emg_window(1, rng)  # medium wrap: high tone
+        assert np.abs(high.signal).mean() > np.abs(low.signal).mean()
+
+    def test_features_shape_and_finiteness(self, rng):
+        window = synth_emg_window(2, rng)
+        feats = emg_features(window.signal)
+        assert feats.shape == (4 * EMG_CHANNELS,)
+        assert np.isfinite(feats).all()
+
+    def test_dataset_balanced(self):
+        x, y = make_emg_dataset(50, rng=0)
+        assert x.shape == (50, 32)
+        np.testing.assert_allclose(y.sum(axis=0), 10.0)
+
+    def test_classifier_beats_chance_but_imperfect(self):
+        """EMG alone is informative yet unreliable (the paper's premise)."""
+        x, y = make_emg_dataset(300, rng=0)
+        xt, yt = make_emg_dataset(100, rng=1)
+        clf = EMGClassifier(rng=0).fit(x, y, epochs=30)
+        pred = clf.predict(xt)
+        top1 = (pred.argmax(1) == yt.argmax(1)).mean()
+        assert 0.3 < top1 < 0.98
+        np.testing.assert_allclose(pred.sum(axis=1), 1.0, rtol=1e-5)
+
+
+class TestFusion:
+    def test_product_sharpens(self, rng):
+        a = np.array([0.5, 0.3, 0.2])
+        fused = fuse_product(a, a)
+        assert fused[0] > a[0]
+        assert fused.sum() == pytest.approx(1.0)
+
+    def test_product_identity_with_uniform(self):
+        a = np.array([0.6, 0.3, 0.1])
+        uniform = np.full(3, 1 / 3)
+        np.testing.assert_allclose(fuse_product(a, uniform), a, rtol=1e-9)
+
+    def test_product_requires_input(self):
+        with pytest.raises(ValueError):
+            fuse_product()
+
+    def test_weighted_mixture(self):
+        a = np.array([1.0, 0.0])
+        b = np.array([0.0, 1.0])
+        fused = fuse_weighted([a, b], [3.0, 1.0])
+        np.testing.assert_allclose(fused, [0.75, 0.25])
+
+    def test_weighted_validates(self):
+        with pytest.raises(ValueError):
+            fuse_weighted([np.ones(2)], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            fuse_weighted([np.ones(2)], [0.0])
+
+    def test_sequence_fusion_reduces_entropy(self, rng):
+        frames = np.abs(rng.normal(size=(5, 4))) + 0.1
+        frames /= frames.sum(axis=1, keepdims=True)
+        frames[:, 2] += 0.5  # consistent evidence for class 2
+        frames /= frames.sum(axis=1, keepdims=True)
+        fused = fuse_sequence(frames)
+        assert fused.argmax() == 2
+        assert entropy(fused) < entropy(frames).mean()
+
+    def test_sequence_discount_favours_recent(self):
+        early = np.array([[0.9, 0.1]] * 4)
+        late = np.array([[0.1, 0.9]])
+        frames = np.concatenate([early, late])
+        heavy_discount = fuse_sequence(frames, discount=0.1)
+        no_discount = fuse_sequence(frames, discount=1.0)
+        assert heavy_discount[1] > no_discount[1]
+
+    def test_sequence_rejects_bad_rank(self):
+        with pytest.raises(ValueError):
+            fuse_sequence(np.ones(5))
+
+
+class TestControlLoop:
+    def test_default_deadline_is_paper_value(self):
+        spec = ControlLoopSpec()
+        assert spec.visual_deadline_ms() == pytest.approx(
+            DEFAULT_DEADLINE_MS, abs=0.01)
+
+    def test_budget_arithmetic(self):
+        spec = ControlLoopSpec()
+        total = (spec.preprocess_ms + spec.writeback_ms
+                 + spec.emg_processing_ms + spec.fusion_ms
+                 + spec.safety_margin_ms + spec.visual_deadline_ms())
+        assert total == pytest.approx(spec.frame_period_ms)
+
+    def test_infeasible_loop_raises(self):
+        spec = ControlLoopSpec(camera_fps=1000.0)
+        with pytest.raises(ValueError):
+            spec.visual_deadline_ms()
+
+    def test_frames_available(self):
+        spec = ControlLoopSpec()
+        assert spec.frames_available() == int(
+            (spec.reach_duration_ms - spec.actuation_ms)
+            // spec.frame_period_ms)
+
+
+class TestSimulateReach:
+    def _frames(self, rng, peak_class=2, n=6):
+        frames = np.full((n, 5), 0.1)
+        frames[:, peak_class] = 0.6
+        frames += rng.uniform(0, 0.05, size=frames.shape)
+        return frames / frames.sum(axis=1, keepdims=True)
+
+    def test_decision_follows_consistent_evidence(self, rng):
+        frames = self._frames(rng)
+        emg = np.full(5, 0.2)
+        truth = np.zeros(5)
+        truth[2] = 1.0
+        outcome = simulate_reach(frames, emg, truth,
+                                 classifier_latency_ms=0.4)
+        assert outcome.top_grasp == "power_sphere"
+        assert outcome.deadline_met
+        assert outcome.decision_quality > 0.7
+        assert outcome.joint_command.shape == (5,)
+
+    def test_deadline_violation_flagged(self, rng):
+        frames = self._frames(rng)
+        outcome = simulate_reach(frames, np.full(5, 0.2), np.eye(5)[2],
+                                 classifier_latency_ms=2.5)
+        assert not outcome.deadline_met
+
+    def test_emg_can_tip_the_decision(self, rng):
+        frames = np.full((5, 5), 0.2)  # uninformative vision
+        emg = np.array([0.05, 0.75, 0.1, 0.05, 0.05])
+        outcome = simulate_reach(frames, emg, np.eye(5)[1], 0.4)
+        assert outcome.top_grasp == "medium_wrap"
+
+    def test_too_short_reach_rejected(self, rng):
+        spec = ControlLoopSpec(reach_duration_ms=360.0, actuation_ms=355.0)
+        with pytest.raises(ValueError):
+            simulate_reach(self._frames(rng), np.full(5, 0.2),
+                           np.eye(5)[0], 0.4, spec)

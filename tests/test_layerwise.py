@@ -1,0 +1,70 @@
+"""Tests for the Edgent-style per-layer-type latency estimator."""
+
+import numpy as np
+import pytest
+
+from repro.device.latency import network_latency
+from repro.estimators import LayerwiseEstimator, layer_type_features
+
+from conftest import make_tiny_net
+
+
+class TestLayerTypeFeatures:
+    def test_feature_vector_shape(self, tiny_net):
+        ltype, feats = layer_type_features(tiny_net, "b1_conv")
+        assert ltype == "Conv2D"
+        assert feats.shape == (5,)
+        assert feats[-1] == 1.0  # intercept
+
+    def test_flops_feature_matches_layer(self, tiny_net):
+        _, feats = layer_type_features(tiny_net, "b1_conv")
+        node = tiny_net.nodes["b1_conv"]
+        assert feats[0] == node.layer.flops(tiny_net.in_shapes("b1_conv"))
+
+
+class TestLayerwiseEstimator:
+    @pytest.fixture
+    def fitted(self, tiny_device):
+        nets = [make_tiny_net(f"n{i}", blocks=b)
+                for i, b in enumerate((2, 3, 4))]
+        return LayerwiseEstimator().fit_from_device(nets, tiny_device), nets
+
+    def test_unfitted_raises(self, tiny_net):
+        with pytest.raises(RuntimeError):
+            LayerwiseEstimator().estimate(tiny_net)
+
+    def test_learns_layer_types(self, fitted):
+        est, _ = fitted
+        assert "Conv2D" in est.layer_types
+        assert "BatchNorm" in est.layer_types
+
+    def test_accurate_on_unfused_engine(self, fitted, tiny_device):
+        """On the engine it was trained against (no fusion), the per-layer
+        model is accurate — Edgent works in its own setting."""
+        est, _ = fitted
+        probe = make_tiny_net("probe", blocks=5)
+        pred = est.estimate(probe)
+        truth = network_latency(probe, tiny_device, fused=False).total_ms
+        assert pred == pytest.approx(truth, rel=0.1)
+
+    def test_overestimates_fused_engine(self, fitted, tiny_device):
+        """On a fusing engine the per-layer-type model systematically
+        overestimates (the NetCut paper's argument against it)."""
+        est, _ = fitted
+        probe = make_tiny_net("probe", blocks=5)
+        pred = est.estimate(probe)
+        fused = network_latency(probe, tiny_device, fused=True).total_ms
+        assert pred > 1.2 * fused
+
+    def test_unknown_layer_type_uses_fallback(self, fitted, tiny_device):
+        """A probe network containing a layer type never seen in training
+        still gets a finite estimate via the pooled fallback model."""
+        est, _ = fitted
+        from repro.nn import Dense, Dropout, Flatten, Network
+
+        net = Network("odd", (4, 4, 2))
+        net.add("flat", Flatten())
+        net.add("drop", Dropout(0.1))
+        net.add("fc", Dense(3))
+        net.build(0)
+        assert np.isfinite(est.estimate(net))

@@ -1,0 +1,171 @@
+"""Tests for losses, optimizers and schedules."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Parameter
+from repro.nn.losses import (
+    cross_entropy_from_probs,
+    kl_divergence,
+    mse,
+    softmax_cross_entropy,
+)
+from repro.nn.optim import SGD, Adam, ConstantLR, StepDecay
+
+
+def random_dist(rng, n, k):
+    y = np.abs(rng.normal(size=(n, k))) + 1e-3
+    return (y / y.sum(axis=1, keepdims=True)).astype(np.float64)
+
+
+class TestSoftmaxCrossEntropy:
+    def test_matches_manual(self, rng):
+        logits = rng.normal(size=(4, 5))
+        y = random_dist(rng, 4, 5)
+        loss, _ = softmax_cross_entropy(logits, y)
+        p = np.exp(logits - logits.max(1, keepdims=True))
+        p /= p.sum(1, keepdims=True)
+        manual = -np.mean(np.sum(y * np.log(p + 1e-12), axis=1))
+        assert loss == pytest.approx(manual, rel=1e-6)
+
+    def test_grad_is_p_minus_y(self, rng):
+        logits = rng.normal(size=(3, 4))
+        y = random_dist(rng, 3, 4)
+        _, grad = softmax_cross_entropy(logits, y)
+        p = np.exp(logits - logits.max(1, keepdims=True))
+        p /= p.sum(1, keepdims=True)
+        np.testing.assert_allclose(grad, (p - y) / 3, rtol=1e-6)
+
+    def test_minimum_at_label_entropy(self, rng):
+        """Loss at the optimum equals the entropy of the soft labels."""
+        y = random_dist(rng, 5, 4)
+        logits = np.log(y) * 1.0
+        loss, _ = softmax_cross_entropy(logits, y)
+        entropy = -np.mean(np.sum(y * np.log(y), axis=1))
+        assert loss == pytest.approx(entropy, rel=1e-5)
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_grad_rows_sum_to_zero(self, seed):
+        r = np.random.default_rng(seed)
+        logits = r.normal(size=(3, 5))
+        y = random_dist(r, 3, 5)
+        _, grad = softmax_cross_entropy(logits, y)
+        np.testing.assert_allclose(grad.sum(axis=1), 0.0, atol=1e-10)
+
+
+class TestOtherLosses:
+    def test_cross_entropy_from_probs_matches(self, rng):
+        y = random_dist(rng, 4, 5)
+        p = random_dist(rng, 4, 5)
+        loss, _ = cross_entropy_from_probs(p, y)
+        manual = -np.mean(np.sum(y * np.log(p + 1e-12), axis=1))
+        assert loss == pytest.approx(manual, rel=1e-6)
+
+    def test_kl_zero_for_identical(self, rng):
+        y = random_dist(rng, 4, 5)
+        loss, _ = kl_divergence(y.copy(), y)
+        assert loss == pytest.approx(0.0, abs=1e-6)
+
+    def test_kl_positive_otherwise(self, rng):
+        y = random_dist(rng, 4, 5)
+        p = random_dist(rng, 4, 5)
+        loss, _ = kl_divergence(p, y)
+        assert loss > 0
+
+    def test_mse_value_and_grad(self):
+        pred = np.array([[1.0, 2.0]])
+        target = np.array([[0.0, 0.0]])
+        loss, grad = mse(pred, target)
+        assert loss == pytest.approx(5.0)
+        np.testing.assert_allclose(grad, [[2.0, 4.0]])
+
+
+class TestSchedules:
+    def test_constant(self):
+        assert ConstantLR(0.1)(100) == 0.1
+
+    def test_step_decay(self):
+        sched = StepDecay(1.0, every=10, factor=0.5)
+        assert sched(0) == 1.0
+        assert sched(9) == 1.0
+        assert sched(10) == 0.5
+        assert sched(25) == 0.25
+
+    def test_step_decay_rejects_bad_every(self):
+        with pytest.raises(ValueError):
+            StepDecay(1.0, every=0)
+
+
+def quadratic_param():
+    """A parameter minimising f(w) = ||w - 3||^2."""
+    return Parameter(np.zeros(4, dtype=np.float32))
+
+
+def quadratic_grad(p):
+    return 2.0 * (p.value - 3.0)
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = quadratic_param()
+        opt = SGD(lr=0.1, momentum=0.0)
+        for _ in range(100):
+            p.grad = quadratic_grad(p)
+            opt.step([("w", p)])
+        np.testing.assert_allclose(p.value, 3.0, atol=1e-3)
+
+    def test_momentum_accelerates(self):
+        plain, mom = quadratic_param(), quadratic_param()
+        o1, o2 = SGD(0.02, momentum=0.0), SGD(0.02, momentum=0.9)
+        for _ in range(30):
+            plain.grad = quadratic_grad(plain)
+            mom.grad = quadratic_grad(mom)
+            o1.step([("w", plain)])
+            o2.step([("w", mom)])
+        assert (np.abs(mom.value - 3.0).sum()
+                < np.abs(plain.value - 3.0).sum())
+
+    def test_weight_decay_shrinks(self):
+        p = Parameter(np.ones(3, dtype=np.float32) * 10)
+        opt = SGD(lr=0.1, momentum=0.0, weight_decay=1.0)
+        p.grad = np.zeros(3, dtype=np.float32)
+        opt.step([("w", p)])
+        assert np.all(p.value < 10.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = quadratic_param()
+        opt = Adam(lr=0.2)
+        for _ in range(200):
+            p.grad = quadratic_grad(p)
+            opt.step([("w", p)])
+        np.testing.assert_allclose(p.value, 3.0, atol=1e-2)
+
+    def test_first_step_magnitude_is_lr(self):
+        """With bias correction, the first Adam step is ≈ lr."""
+        p = Parameter(np.zeros(1, dtype=np.float32))
+        opt = Adam(lr=0.5)
+        p.grad = np.array([7.0], dtype=np.float32)
+        opt.step([("w", p)])
+        assert abs(p.value[0]) == pytest.approx(0.5, rel=1e-3)
+
+    def test_set_lr_switches_phase(self):
+        opt = Adam(lr=1e-3)
+        opt.set_lr(1e-4)
+        assert opt.lr == 1e-4
+
+    def test_state_keyed_by_name_survives_param_subset(self):
+        """Freezing some params between steps must not corrupt state."""
+        a, b = quadratic_param(), quadratic_param()
+        opt = Adam(lr=0.1)
+        a.grad = quadratic_grad(a)
+        b.grad = quadratic_grad(b)
+        opt.step([("a", a), ("b", b)])
+        a.grad = quadratic_grad(a)
+        opt.step([("a", a)])  # b frozen this step
+        b.grad = quadratic_grad(b)
+        opt.step([("a", a), ("b", b)])  # no error, state consistent

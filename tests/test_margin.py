@@ -1,0 +1,61 @@
+"""Unit tests for the safety-margin adapter."""
+
+import pytest
+
+from repro.netcut import MarginAdapter, run_netcut, violation_rate
+from repro.netcut.algorithm import NetCutCandidate, NetCutResult
+
+from conftest import make_tiny_net
+from test_netcut import FixedEstimator, dummy_retrain
+
+
+class TestMarginAdapter:
+    def test_inflates_estimates(self, tiny_net):
+        inner = FixedEstimator(2.0, 0.5)
+        wrapped = MarginAdapter(inner, margin=0.1)
+        assert wrapped.estimate(tiny_net, None) == pytest.approx(2.2)
+
+    def test_zero_margin_is_identity(self, tiny_net):
+        inner = FixedEstimator(2.0, 0.5)
+        wrapped = MarginAdapter(inner, margin=0.0)
+        assert wrapped.estimate(tiny_net, None) == pytest.approx(2.0)
+
+    def test_negative_margin_rejected(self):
+        with pytest.raises(ValueError):
+            MarginAdapter(FixedEstimator(1.0, 0.1), margin=-0.1)
+
+    def test_name_encodes_margin(self):
+        adapter = MarginAdapter(FixedEstimator(1.0, 0.1), margin=0.05)
+        assert "5%" in adapter.name
+
+    def test_margin_forces_deeper_cuts(self, tiny_net):
+        """With a margin, the same deadline requires removing more."""
+        plain = run_netcut([tiny_net], 2.2,
+                           FixedEstimator(3.0, 0.5), dummy_retrain)
+        margined = run_netcut([tiny_net], 2.2,
+                              MarginAdapter(FixedEstimator(3.0, 0.5), 0.2),
+                              dummy_retrain)
+        assert (margined.candidates[0].blocks_removed
+                >= plain.candidates[0].blocks_removed)
+
+
+class TestViolationRate:
+    def _result(self, measured):
+        result = NetCutResult(1.0, "stub")
+        for i, ms in enumerate(measured):
+            result.candidates.append(NetCutCandidate(
+                f"n{i}", f"n{i}/1", None, 0.9, 0.7,
+                measured_latency_ms=ms))
+        return result
+
+    def test_counts_violations(self):
+        result = self._result([0.8, 1.1, 0.9, 1.5])
+        assert violation_rate(result, 1.0) == pytest.approx(0.5)
+
+    def test_all_compliant(self):
+        assert violation_rate(self._result([0.5, 0.9]), 1.0) == 0.0
+
+    def test_nan_when_empty(self):
+        import math
+
+        assert math.isnan(violation_rate(self._result([]), 1.0))

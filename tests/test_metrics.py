@@ -1,0 +1,160 @@
+"""Tests for angular similarity and Pareto-frontier analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    CandidatePoint,
+    accuracy_gap,
+    angular_distance,
+    angular_similarity,
+    best_under_deadline,
+    bhattacharyya_angle,
+    dominates,
+    mean_angular_similarity,
+    pareto_frontier,
+    relative_improvement,
+)
+
+
+def dist(*values):
+    arr = np.asarray(values, dtype=np.float64)
+    return arr / arr.sum()
+
+
+class TestAngular:
+    def test_identical_is_one(self):
+        p = dist(0.2, 0.3, 0.5)
+        assert angular_similarity(p, p) == pytest.approx(1.0, abs=1e-5)
+
+    def test_orthogonal_is_zero(self):
+        p = np.array([1.0, 0.0])
+        q = np.array([0.0, 1.0])
+        assert angular_similarity(p, q) == pytest.approx(0.0, abs=1e-9)
+
+    def test_symmetry(self, rng):
+        p = dist(*rng.random(5))
+        q = dist(*rng.random(5))
+        assert angular_distance(p, q) == pytest.approx(
+            angular_distance(q, p), rel=1e-9)
+
+    def test_batch_shape(self, rng):
+        p = rng.random((7, 5))
+        q = rng.random((7, 5))
+        assert angular_similarity(p, q).shape == (7,)
+
+    def test_mean_angular_similarity(self, rng):
+        p = rng.random((4, 5))
+        val = mean_angular_similarity(p, p)
+        assert val == pytest.approx(1.0, abs=1e-5)
+
+    @given(seed=st.integers(0, 300))
+    @settings(max_examples=40, deadline=None)
+    def test_bounded_in_unit_interval(self, seed):
+        r = np.random.default_rng(seed)
+        p = dist(*(r.random(5) + 1e-6))
+        q = dist(*(r.random(5) + 1e-6))
+        d = float(angular_distance(p, q))
+        assert 0.0 <= d <= 1.0
+
+    def test_bhattacharyya_identical_zero(self):
+        p = dist(0.1, 0.9)
+        assert bhattacharyya_angle(p, p) == pytest.approx(0.0, abs=1e-6)
+
+    def test_bhattacharyya_disjoint_is_one(self):
+        assert bhattacharyya_angle([1.0, 0.0], [0.0, 1.0]) == pytest.approx(1.0)
+
+
+class TestDominance:
+    def test_strictly_better(self):
+        a = CandidatePoint("a", 1.0, 0.9)
+        b = CandidatePoint("b", 2.0, 0.8)
+        assert dominates(a, b)
+        assert not dominates(b, a)
+
+    def test_equal_points_do_not_dominate(self):
+        a = CandidatePoint("a", 1.0, 0.9)
+        b = CandidatePoint("b", 1.0, 0.9)
+        assert not dominates(a, b)
+
+    def test_tradeoff_no_domination(self):
+        fast = CandidatePoint("f", 1.0, 0.7)
+        accurate = CandidatePoint("s", 2.0, 0.9)
+        assert not dominates(fast, accurate)
+        assert not dominates(accurate, fast)
+
+
+class TestParetoFrontier:
+    def test_removes_dominated(self):
+        pts = [CandidatePoint("a", 1.0, 0.5),
+               CandidatePoint("b", 2.0, 0.4),   # dominated by a
+               CandidatePoint("c", 3.0, 0.9)]
+        frontier = pareto_frontier(pts)
+        assert [p.name for p in frontier] == ["a", "c"]
+
+    def test_frontier_sorted_and_increasing(self, rng):
+        pts = [CandidatePoint(str(i), float(rng.random()),
+                              float(rng.random())) for i in range(50)]
+        frontier = pareto_frontier(pts)
+        lats = [p.latency_ms for p in frontier]
+        accs = [p.accuracy for p in frontier]
+        assert lats == sorted(lats)
+        assert accs == sorted(accs)
+
+    @given(seed=st.integers(0, 200), n=st.integers(1, 40))
+    @settings(max_examples=40, deadline=None)
+    def test_no_frontier_point_dominated(self, seed, n):
+        r = np.random.default_rng(seed)
+        pts = [CandidatePoint(str(i), float(r.random()), float(r.random()))
+               for i in range(n)]
+        frontier = pareto_frontier(pts)
+        for f in frontier:
+            assert not any(dominates(p, f) for p in pts)
+
+    @given(seed=st.integers(0, 200))
+    @settings(max_examples=30, deadline=None)
+    def test_every_point_dominated_by_or_on_frontier(self, seed):
+        r = np.random.default_rng(seed)
+        pts = [CandidatePoint(str(i), float(r.random()), float(r.random()))
+               for i in range(25)]
+        frontier = pareto_frontier(pts)
+        for p in pts:
+            assert (p in frontier
+                    or any(dominates(f, p) for f in frontier))
+
+    def test_latency_tie_keeps_most_accurate(self):
+        pts = [CandidatePoint("lo", 1.0, 0.5), CandidatePoint("hi", 1.0, 0.8)]
+        frontier = pareto_frontier(pts)
+        assert [p.name for p in frontier] == ["hi"]
+
+
+class TestDeadlineQueries:
+    PTS = [CandidatePoint("fast", 0.3, 0.7),
+           CandidatePoint("mid", 0.8, 0.82),
+           CandidatePoint("slow", 2.0, 0.95)]
+
+    def test_best_under_deadline(self):
+        best = best_under_deadline(self.PTS, 0.9)
+        assert best.name == "mid"
+
+    def test_none_when_infeasible(self):
+        assert best_under_deadline(self.PTS, 0.1) is None
+
+    def test_accuracy_gap(self):
+        gap = accuracy_gap(self.PTS, 0.9)
+        assert gap == pytest.approx(0.95 - 0.82)
+
+    def test_accuracy_gap_nan_when_infeasible(self):
+        assert np.isnan(accuracy_gap(self.PTS, 0.01))
+
+    def test_relative_improvement(self):
+        base = CandidatePoint("base", 0.4, 0.80)
+        trn = CandidatePoint("trn", 0.8, 0.8834)
+        assert relative_improvement(base, trn) == pytest.approx(10.43, abs=0.01)
+
+    def test_relative_improvement_rejects_zero_baseline(self):
+        with pytest.raises(ValueError):
+            relative_improvement(CandidatePoint("z", 1.0, 0.0),
+                                 CandidatePoint("t", 1.0, 0.5))

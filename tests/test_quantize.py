@@ -1,0 +1,72 @@
+"""Tests for post-training INT8 quantization."""
+
+import numpy as np
+import pytest
+
+from repro.device import QuantizedNetwork, calibration_split, quantize_tensor
+from repro.nn import Conv2D, Dense
+
+
+class TestQuantizeTensor:
+    def test_roundtrip_small_error(self, rng):
+        x = rng.normal(size=(100,)).astype(np.float32)
+        scale = np.abs(x).max() / 127
+        q = quantize_tensor(x, scale)
+        assert np.abs(q - x).max() <= scale / 2 + 1e-7
+
+    def test_values_on_grid(self, rng):
+        x = rng.normal(size=(50,)).astype(np.float32)
+        scale = np.abs(x).max() / 127
+        q = quantize_tensor(x, scale)
+        ratios = q / scale
+        np.testing.assert_allclose(ratios, np.round(ratios), atol=1e-4)
+
+    def test_clipping_at_127(self):
+        q = quantize_tensor(np.array([1000.0]), 1.0)
+        assert q[0] == 127.0
+
+
+class TestCalibrationSplit:
+    def test_ten_percent(self):
+        idx = calibration_split(200, 0.1, rng=0)
+        assert len(idx) == 20
+        assert len(set(idx.tolist())) == 20
+
+    def test_at_least_one(self):
+        assert len(calibration_split(3, 0.1)) == 1
+
+
+class TestQuantizedNetwork:
+    def test_weights_quantized_per_feature(self, tiny_net, small_images):
+        qnet = QuantizedNetwork(tiny_net, small_images)
+        w = qnet.net.nodes["b1_conv"].layer.params["w"].value
+        scales = qnet._weight_scales["b1_conv"]
+        assert scales.shape == (w.shape[-1],)  # one scale per output feature
+        ratios = w / scales
+        np.testing.assert_allclose(ratios, np.round(ratios), atol=1e-3)
+
+    def test_float_network_untouched(self, tiny_net, small_images):
+        before = tiny_net.forward(small_images)
+        QuantizedNetwork(tiny_net, small_images)
+        np.testing.assert_array_equal(tiny_net.forward(small_images), before)
+
+    def test_outputs_close_to_float(self, tiny_net, small_images):
+        qnet = QuantizedNetwork(tiny_net, small_images)
+        fp = tiny_net.forward(small_images)
+        q = qnet.forward(small_images)
+        assert q.shape == fp.shape
+        # int8 post-training quantization should track fp32 closely
+        assert np.abs(q - fp).max() < 0.15
+
+    def test_requires_built_network(self, small_images):
+        from repro.nn import Network
+
+        net = Network("x", (8, 8, 3))
+        net.add("c", Conv2D(2, 3))
+        with pytest.raises(RuntimeError):
+            QuantizedNetwork(net, small_images)
+
+    def test_dense_layers_quantized_too(self, tiny_net, small_images):
+        qnet = QuantizedNetwork(tiny_net, small_images)
+        assert "logits" in qnet._weight_scales
+        assert "logits" in qnet._act_scales

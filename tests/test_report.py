@@ -1,0 +1,60 @@
+"""Tests for the markdown report builder (reduced workbench)."""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, Workbench
+from repro.report import build_report
+from repro.train import PretrainConfig
+
+
+@pytest.fixture(scope="module")
+def report(tmp_path_factory):
+    config = ExperimentConfig(
+        networks=("mobilenet_v1_0.25", "mobilenet_v1_0.5"),
+        hands_images=60, head_epochs=6, deadline_ms=0.35)
+    wb = Workbench(
+        config,
+        cache_dir=str(tmp_path_factory.mktemp("reportcache")),
+        pretrain_config=PretrainConfig(n_images=40, epochs=1,
+                                       batch_size=16))
+    return build_report(wb)
+
+
+class TestReport:
+    def test_has_all_sections(self, report):
+        for heading in ("# NetCut reproduction report",
+                        "## Off-the-shelf networks (Fig. 1)",
+                        "## Blockwise TRN sweep (Figs 4-6)",
+                        "## Pareto frontier (Fig. 7)",
+                        "## Latency estimators (Figs 8-9)",
+                        "## NetCut selections (Fig. 10)"):
+            assert heading in report
+
+    def test_mentions_both_networks(self, report):
+        assert "mobilenet_v1_0.25" in report
+        assert "mobilenet_v1_0.5" in report
+
+    def test_includes_paper_references(self, report):
+        assert "+10.43%" in report
+        assert "27x" in report
+
+    def test_tables_well_formed(self, report):
+        """Every markdown table row has a consistent column count."""
+        lines = report.splitlines()
+        i = 0
+        tables = 0
+        while i < len(lines):
+            if lines[i].startswith("|"):
+                cols = lines[i].count("|")
+                block = []
+                while i < len(lines) and lines[i].startswith("|"):
+                    block.append(lines[i])
+                    i += 1
+                tables += 1
+                assert all(row.count("|") == cols for row in block)
+            else:
+                i += 1
+        assert tables >= 5
+
+    def test_reports_winner(self, report):
+        assert "Winner: **" in report

@@ -1,0 +1,182 @@
+"""Tests for transfer-learning machinery: features, heads, fine-tuning."""
+
+import numpy as np
+import pytest
+
+from repro.data import make_hands_dataset
+from repro.metrics import mean_angular_similarity
+from repro.train import (
+    TrainConfig,
+    build_head_network,
+    evaluate,
+    fine_tune,
+    predict,
+    record_gap_features,
+    train_head_on_features,
+)
+from repro.trim import build_trn
+
+from conftest import make_tiny_net
+
+
+@pytest.fixture(scope="module")
+def hands_small():
+    return make_hands_dataset(80, seed=2).split(0.75, rng=0)
+
+
+class TestRecordGapFeatures:
+    def test_matches_manual_gap(self, tiny_net, small_images):
+        feats = record_gap_features(tiny_net, small_images, ["b1_relu"])
+        _, acts = tiny_net.forward(small_images, capture=["b1_relu"])
+        np.testing.assert_allclose(feats["b1_relu"],
+                                   acts["b1_relu"].mean(axis=(1, 2)),
+                                   rtol=1e-5)
+
+    def test_flat_node_passthrough(self, tiny_net, small_images):
+        feats = record_gap_features(tiny_net, small_images, ["gap"])
+        assert feats["gap"].shape == (6, 4)
+
+    def test_batching_consistent(self, tiny_net, rng):
+        x = rng.normal(size=(10, 8, 8, 3)).astype(np.float32)
+        whole = record_gap_features(tiny_net, x, ["b2_add"], batch_size=100)
+        pieces = record_gap_features(tiny_net, x, ["b2_add"], batch_size=3)
+        np.testing.assert_allclose(whole["b2_add"], pieces["b2_add"],
+                                   rtol=2e-5, atol=1e-6)
+
+    def test_duplicate_nodes_deduplicated(self, tiny_net, small_images):
+        feats = record_gap_features(tiny_net, small_images,
+                                    ["b1_relu", "b1_relu"])
+        assert list(feats) == ["b1_relu"]
+
+
+class TestHeadNetwork:
+    def test_structure(self):
+        head = build_head_network(16, 5)
+        assert head.forward(np.zeros((2, 16), dtype=np.float32)).shape == (2, 5)
+
+    def test_paper_layers_present(self):
+        head = build_head_network(16, 5)
+        kinds = [type(n.layer).__name__ for n in head.nodes.values()]
+        # input + 2x (Dense, ReLU) + Dense + Softmax
+        assert kinds.count("Dense") == 3
+        assert kinds.count("ReLU") == 2
+        assert kinds[-1] == "Softmax"
+
+
+class TestTrainHeadOnFeatures:
+    def test_learns_separable_features(self, rng):
+        n, k = 120, 5
+        centers = rng.normal(size=(k, 8)) * 3
+        labels = rng.integers(0, k, n)
+        x = centers[labels] + rng.normal(size=(n, 8)) * 0.3
+        y = np.eye(k, dtype=np.float32)[labels]
+        result = train_head_on_features(x.astype(np.float32), y, k,
+                                        epochs=60, rng=0)
+        assert result.train_accuracy > 0.78
+        assert len(result.losses) == 60
+        assert result.losses[-1] < result.losses[0]
+
+    def test_respects_seed(self, rng):
+        x = rng.normal(size=(30, 6)).astype(np.float32)
+        y = np.abs(rng.normal(size=(30, 5))).astype(np.float32)
+        y /= y.sum(1, keepdims=True)
+        a = train_head_on_features(x, y, 5, epochs=5, rng=4)
+        b = train_head_on_features(x, y, 5, epochs=5, rng=4)
+        np.testing.assert_array_equal(a.network.forward(x),
+                                      b.network.forward(x))
+
+
+class TestFineTune:
+    def test_two_phase_improves_over_init(self, hands_small):
+        train_data, test_data = hands_small
+        trn = build_trn(make_tiny_net32(), "b2_add", 5)
+        before = evaluate(trn, train_data)
+        result = fine_tune(trn, train_data, test_data,
+                           TrainConfig(epochs_frozen=20, epochs_full=30,
+                                       lr_full=1e-3, batch_size=16))
+        assert result.train_accuracy > before + 0.05
+        assert result.losses[-1] < result.losses[0]
+        assert not np.isnan(result.test_accuracy)
+
+    def test_phase_one_freezes_features(self, hands_small):
+        train_data, _ = hands_small
+        net32 = make_tiny_net32()
+        trn = build_trn(net32, "b2_add", 5)
+        w_before = trn.nodes["b1_conv"].layer.params["w"].value.copy()
+        fine_tune(trn, train_data,
+                  config=TrainConfig(epochs_frozen=3, epochs_full=0,
+                                     batch_size=16))
+        np.testing.assert_array_equal(
+            trn.nodes["b1_conv"].layer.params["w"].value, w_before)
+
+    def test_phase_two_updates_features(self, hands_small):
+        train_data, _ = hands_small
+        net32 = make_tiny_net32()
+        trn = build_trn(net32, "b2_add", 5)
+        w_before = trn.nodes["b1_conv"].layer.params["w"].value.copy()
+        fine_tune(trn, train_data,
+                  config=TrainConfig(epochs_frozen=1, epochs_full=2,
+                                     batch_size=16))
+        assert not np.array_equal(
+            trn.nodes["b1_conv"].layer.params["w"].value, w_before)
+
+    def test_network_left_unfrozen_with_probs_output(self, hands_small):
+        train_data, _ = hands_small
+        trn = build_trn(make_tiny_net32(), "b2_add", 5)
+        fine_tune(trn, train_data,
+                  config=TrainConfig(epochs_frozen=1, epochs_full=1,
+                                     batch_size=16))
+        assert trn.output_name == "head_probs"
+        assert len(list(trn.parameters())) == len(
+            list(trn.parameters(trainable_only=False)))
+
+
+class TestPredictEvaluate:
+    def test_predict_batched_equals_whole(self, hands_small):
+        train_data, _ = hands_small
+        trn = build_trn(make_tiny_net32(), "b1_relu", 5)
+        np.testing.assert_allclose(predict(trn, train_data.x, batch_size=7),
+                                   predict(trn, train_data.x, batch_size=512),
+                                   rtol=2e-5, atol=1e-6)
+
+    def test_evaluate_is_mean_angular_similarity(self, hands_small):
+        train_data, _ = hands_small
+        trn = build_trn(make_tiny_net32(), "b1_relu", 5)
+        manual = mean_angular_similarity(predict(trn, train_data.x),
+                                         train_data.y)
+        assert evaluate(trn, train_data) == pytest.approx(manual)
+
+
+def make_tiny_net32():
+    """A tiny block-structured net accepting the 32x32 HANDS images."""
+    from repro.nn import (
+        Add,
+        BatchNorm,
+        Conv2D,
+        Dense,
+        GlobalAvgPool,
+        MaxPool2D,
+        Network,
+        ReLU,
+        Softmax,
+    )
+
+    net = Network("tiny32", (32, 32, 3))
+    net.add("stem_conv", Conv2D(4, 3, stride=2), block_id="stem", role="stem")
+    net.add("stem_relu", ReLU(), block_id="stem", role="stem")
+    prev = "stem_relu"
+    for b in (1, 2):
+        net.add(f"b{b}_conv", Conv2D(4, 3, stride=1), inputs=prev,
+                block_id=f"b{b}")
+        net.add(f"b{b}_bn", BatchNorm(), block_id=f"b{b}")
+        net.add(f"b{b}_relu", ReLU(), block_id=f"b{b}")
+        if b == 2:
+            net.add("b2_add", Add(), inputs=[prev, "b2_relu"], block_id="b2")
+            prev = "b2_add"
+        else:
+            prev = f"b{b}_relu"
+    net.add("pool", MaxPool2D(2), inputs=prev, block_id="b2")
+    net.add("gap", GlobalAvgPool(), role="head")
+    net.add("logits", Dense(5), role="head")
+    net.add("probs", Softmax(), role="head")
+    return net.build(0)

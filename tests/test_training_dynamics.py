@@ -1,0 +1,122 @@
+"""Training-dynamics tests: schedules, dropout, branched backprop."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    SGD,
+    Concat,
+    Conv2D,
+    Dense,
+    Dropout,
+    GlobalAvgPool,
+    Network,
+    ReLU,
+    StepDecay,
+)
+from repro.nn.losses import softmax_cross_entropy
+
+
+def _soft_labels(rng, n, k):
+    y = np.abs(rng.normal(size=(n, k))).astype(np.float32) + 1e-3
+    return y / y.sum(axis=1, keepdims=True)
+
+
+class TestSchedulesInTraining:
+    def test_step_decay_applied_over_steps(self, rng):
+        net = Network("sched", (6,))
+        net.add("fc", Dense(3))
+        net.build(0)
+        x = rng.normal(size=(8, 6)).astype(np.float32)
+        y = _soft_labels(rng, 8, 3)
+        opt = SGD(StepDecay(0.1, every=5, factor=0.1), momentum=0.0)
+        deltas = []
+        for step in range(10):
+            net.zero_grad()
+            net.forward_backward(x, loss_fn=softmax_cross_entropy, y=y,
+                                 training=True)
+            before = net.nodes["fc"].layer.params["w"].value.copy()
+            opt.step(net.parameters())
+            after = net.nodes["fc"].layer.params["w"].value
+            deltas.append(float(np.abs(after - before).max()))
+        # updates shrink by ~10x after the decay boundary
+        assert np.mean(deltas[5:]) < 0.5 * np.mean(deltas[:5])
+
+
+class TestDropoutTraining:
+    def _net(self, rate):
+        net = Network("drop", (4, 4, 2))
+        net.add("conv", Conv2D(4, 3))
+        net.add("relu", ReLU())
+        net.add("gap", GlobalAvgPool())
+        net.add("dropout", Dropout(rate, seed=1))
+        net.add("fc", Dense(3))
+        return net.build(0)
+
+    def test_training_forward_stochastic_inference_not(self, rng):
+        net = self._net(0.5)
+        x = rng.normal(size=(8, 4, 4, 2)).astype(np.float32)
+        a = net.forward(x, training=True)
+        b = net.forward(x, training=True)
+        assert not np.allclose(a, b)  # different dropout masks
+        c = net.forward(x, training=False)
+        d = net.forward(x, training=False)
+        np.testing.assert_array_equal(c, d)
+
+    def test_backward_respects_mask(self, rng):
+        net = self._net(0.5)
+        x = rng.normal(size=(4, 4, 4, 2)).astype(np.float32)
+        y = _soft_labels(rng, 4, 3)
+        net.zero_grad()
+        net.forward_backward(x, loss_fn=softmax_cross_entropy, y=y,
+                             training=True)
+        # gradients flow and are finite despite the mask
+        grads = [p.grad for _, p in net.parameters()]
+        assert all(np.isfinite(g).all() for g in grads)
+        assert any(np.abs(g).max() > 0 for g in grads)
+
+
+class TestBranchedBackprop:
+    def test_concat_network_trains(self, rng):
+        """A two-branch concat network must backprop through both paths."""
+        net = Network("branchy", (6, 6, 2))
+        net.add("a", Conv2D(3, 3), inputs="input")
+        net.add("ra", ReLU())
+        net.add("b", Conv2D(3, 5), inputs="input")
+        net.add("rb", ReLU())
+        net.add("cat", Concat(), inputs=["ra", "rb"])
+        net.add("gap", GlobalAvgPool())
+        net.add("fc", Dense(4))
+        net.build(0)
+        x = rng.normal(size=(6, 6, 6, 2)).astype(np.float32)
+        y = _soft_labels(rng, 6, 4)
+        opt = Adam(5e-3)
+        first = None
+        for _ in range(40):
+            net.zero_grad()
+            _, loss = net.forward_backward(
+                x, loss_fn=softmax_cross_entropy, y=y, training=True)
+            opt.step(net.parameters())
+            first = first if first is not None else loss
+        assert loss < first
+        # both branches received gradient (weights moved)
+        for conv in ("a", "b"):
+            grad = net.nodes[conv].layer.params["w"].grad
+            assert np.abs(grad).max() > 0
+
+    def test_shared_input_gradient_accumulates(self, rng):
+        """The input feeds two branches; its consumers' gradients add."""
+        from repro.nn.gradcheck import check_network
+
+        net = Network("shared", (5, 5, 1))
+        net.add("a", Conv2D(2, 3), inputs="input")
+        net.add("b", Conv2D(2, 3), inputs="input")
+        net.add("cat", Concat(), inputs=["a", "b"])
+        net.add("gap", GlobalAvgPool())
+        net.add("fc", Dense(2))
+        net.build(0)
+        x = rng.normal(size=(3, 5, 5, 1)).astype(np.float32)
+        y = _soft_labels(rng, 3, 2)
+        report = check_network(net, x, softmax_cross_entropy, y)
+        assert report.passed, str(report)

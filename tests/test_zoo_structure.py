@@ -1,0 +1,125 @@
+"""Deeper structural tests of the zoo architectures.
+
+These pin down the architecture details that layer removal relies on:
+spatial schedules, residual/concat topology, width-multiplier effects and
+the correspondence between block tags and the papers' block definitions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Add, Concat, Conv2D, DepthwiseConv2D
+from repro.zoo import build_network
+
+
+@pytest.fixture(scope="module")
+def nets():
+    return {name: build_network(name).build(0)
+            for name in ("mobilenet_v1_0.5", "mobilenet_v2_1.0",
+                         "resnet50", "densenet121", "inception_v3")}
+
+
+class TestSpatialSchedules:
+    def test_mobilenet_v1_ends_at_2x2(self, nets):
+        """Stride-1 stem + 4 stride-2 blocks: 32 -> 2."""
+        net = nets["mobilenet_v1_0.5"]
+        h, w, _ = net.shape_of("block13_pw_relu")
+        assert (h, w) == (2, 2)
+
+    def test_mobilenet_v1_stem_keeps_resolution(self, nets):
+        """CIFAR-style adaptation: the stem does not downsample."""
+        net = nets["mobilenet_v1_0.5"]
+        assert net.shape_of("stem_relu")[:2] == (32, 32)
+
+    def test_resnet_stage_resolutions(self, nets):
+        net = nets["resnet50"]
+        assert net.shape_of("stem_pool")[:2] == (8, 8)
+        assert net.shape_of("block3_out")[:2] == (8, 8)    # stage 1
+        assert net.shape_of("block7_out")[:2] == (4, 4)    # stage 2
+        assert net.shape_of("block13_out")[:2] == (2, 2)   # stage 3
+        assert net.shape_of("block16_out")[:2] == (1, 1)   # stage 4
+
+    def test_inception_grid_sizes(self, nets):
+        net = nets["inception_v3"]
+        assert net.shape_of("mixed3_concat")[:2] == (8, 8)   # module A grid
+        assert net.shape_of("mixed8_concat")[:2] == (4, 4)   # module C grid
+        assert net.shape_of("mixed11_concat")[:2] == (2, 2)  # module E grid
+
+
+class TestTopology:
+    def test_resnet_has_16_residual_adds(self, nets):
+        adds = [n for n in nets["resnet50"].nodes.values()
+                if isinstance(n.layer, Add)]
+        assert len(adds) == 16
+
+    def test_mobilenet_v2_residual_count(self, nets):
+        """V2 skips connect only stride-1 blocks with matching channels:
+        repeats 2..n of each group -> 10 of the 17 blocks."""
+        adds = [n for n in nets["mobilenet_v2_1.0"].nodes.values()
+                if isinstance(n.layer, Add)]
+        assert len(adds) == 10
+
+    def test_densenet_concat_count(self, nets):
+        """One concatenation per composite layer: 6+12+24+16 = 58."""
+        concats = [n for n in nets["densenet121"].nodes.values()
+                   if isinstance(n.layer, Concat)]
+        assert len(concats) == 58
+
+    def test_densenet_channel_growth(self, nets):
+        """Each composite layer adds exactly the growth rate in channels."""
+        net = nets["densenet121"]
+        g = net.shape_of("dense1_1_concat")[-1] - net.shape_of("stem_pool")[-1]
+        assert g > 0
+        c1 = net.shape_of("dense1_2_concat")[-1]
+        c0 = net.shape_of("dense1_1_concat")[-1]
+        assert c1 - c0 == g
+
+    def test_inception_module_branch_counts(self, nets):
+        """Module A concatenates 4 branches; module E concatenates 6
+        tensors (its 3x3 branches split into 1x3/3x1 pairs)."""
+        net = nets["inception_v3"]
+        assert len(net.nodes["mixed1_concat"].inputs) == 4
+        assert len(net.nodes["mixed11_concat"].inputs) == 6
+
+    def test_mobilenet_v1_alternates_dw_pw(self, nets):
+        net = nets["mobilenet_v1_0.5"]
+        for b in range(1, 14):
+            assert isinstance(net.nodes[f"block{b}_dw"].layer,
+                              DepthwiseConv2D)
+            assert isinstance(net.nodes[f"block{b}_pw_conv"].layer, Conv2D)
+            assert net.nodes[f"block{b}_pw_conv"].layer.kernel == (1, 1)
+
+
+class TestWidthMultipliers:
+    def test_channels_scale_with_alpha(self):
+        narrow = build_network("mobilenet_v1_0.25").build(0)
+        wide = build_network("mobilenet_v1_0.5").build(0)
+        for b in (6, 13):
+            assert (wide.shape_of(f"block{b}_pw_relu")[-1]
+                    >= 2 * narrow.shape_of(f"block{b}_pw_relu")[-1] * 0.9)
+
+    def test_v2_expansion_factor(self):
+        net = build_network("mobilenet_v2_1.0").build(0)
+        # block 2 expands its input channels 6x before the depthwise conv
+        in_ch = net.shape_of("block1_pbn")[-1]
+        expanded = net.shape_of("block2_expand_relu")[-1]
+        assert expanded == 6 * in_ch
+
+
+class TestFunctionalSanity:
+    @pytest.mark.parametrize("name", ["resnet50", "densenet121"])
+    def test_training_mode_runs(self, nets, name, rng):
+        x = rng.normal(size=(2, 32, 32, 3)).astype(np.float32)
+        out = nets[name].forward(x, training=True)
+        assert np.isfinite(out).all()
+
+    def test_pretrained_weights_change_output(self, rng):
+        """Pretraining must actually alter predictions vs fresh init."""
+        from repro.train import PretrainConfig, pretrain
+
+        fresh = build_network("mobilenet_v1_0.25").build(0)
+        trained = build_network("mobilenet_v1_0.25").build(0)
+        pretrain(trained, PretrainConfig(n_images=40, epochs=1,
+                                         batch_size=16))
+        x = rng.normal(size=(2, 32, 32, 3)).astype(np.float32)
+        assert not np.allclose(fresh.forward(x), trained.forward(x))
