@@ -1,0 +1,74 @@
+"""Serving benchmark — throughput and deadline behaviour of repro.serve.
+
+Not a paper figure: NetCut ends at deployment, this measures what the
+deployed TRNs buy at serving time. A fixed seeded Poisson trace overloads
+the full TRN of MobileNetV1(0.5) on the simulated Xavier; the benchmark
+reports simulated requests/s and the deadline-miss rate with the ladder
+pinned (full TRN only) versus adaptive (degrading to shorter TRNs under
+pressure), plus the wall-clock cost of the simulator itself.
+"""
+
+import pytest
+
+from repro.device import xavier
+from repro.serve import Server, ServerConfig, TRNLadder, poisson_trace
+from repro.zoo import build_network
+
+from conftest import emit
+
+REQUESTS = 600
+DEADLINE_MS = 0.9
+
+
+@pytest.fixture(scope="module")
+def ladder():
+    base = build_network("mobilenet_v1_0.5").build(0)
+    return TRNLadder.from_base(base, xavier(), num_classes=5, max_rungs=6)
+
+
+@pytest.fixture(scope="module")
+def trace(ladder):
+    # 1.3x the full TRN's single-request capacity: unstable without help
+    rate_rps = 1.3e3 / ladder.rungs[0].estimate_ms(1)
+    return poisson_trace(REQUESTS, rate_rps, DEADLINE_MS, rng=0)
+
+
+def _throughput_rps(result):
+    span_ms = max(r.finish_ms for r in result.completed)
+    return len(result.completed) / span_ms * 1e3
+
+
+def test_bench_serve_ladder(ladder, trace, benchmark):
+    """Adaptive serving: the ladder absorbs the overload."""
+    server = Server(ladder, ServerConfig(deadline_ms=DEADLINE_MS,
+                                         execute=False, seed=0))
+    result = benchmark(server.run_trace, trace)
+    pinned = Server(ladder, ServerConfig(
+        deadline_ms=DEADLINE_MS, execute=False, seed=0,
+        adaptive=False, admission_control=False)).run_trace(trace)
+
+    lines = [f"{'policy':12s} {'req/s':>10} {'miss%':>8} {'rejected':>9} "
+             f"{'transitions':>12}"]
+    for name, res in (("ladder", result), ("pinned-full", pinned)):
+        c = res.metrics.counters
+        lines.append(
+            f"{name:12s} {_throughput_rps(res):>10.0f} "
+            f"{100 * res.metrics.miss_rate:>8.2f} "
+            f"{c['rejected'].value:>9d} "
+            f"{c['degrade_events'].value + c['upgrade_events'].value:>12d}")
+    lines.append(f"deadline {DEADLINE_MS} ms, {REQUESTS} Poisson requests, "
+                 f"seed 0")
+    emit("serve_throughput", lines)
+
+    assert result.metrics.miss_rate < 0.05
+    assert pinned.metrics.miss_rate >= 0.20
+    assert _throughput_rps(result) > _throughput_rps(pinned)
+
+
+def test_bench_serve_admission_only(ladder, trace, benchmark):
+    """Admission control without the ladder: rejects instead of degrading."""
+    server = Server(ladder, ServerConfig(
+        deadline_ms=DEADLINE_MS, execute=False, seed=0, adaptive=False))
+    result = benchmark(server.run_trace, trace)
+    c = result.metrics.counters
+    assert c["rejected"].value + c["admitted"].value == REQUESTS

@@ -1,0 +1,74 @@
+"""Closed-loop serving demo: a TRN ladder absorbing a traffic spike.
+
+The paper stops at deployment — a single TRN that meets the 0.9 ms
+prosthetic-hand deadline. This demo runs the step after that: serving.
+It builds the full TRN ladder of MobileNetV1(0.5) on the simulated Jetson
+Xavier and replays two seeded Poisson traces through the deadline-aware
+server (EDF queue + admission control + micro-batching):
+
+1. a fixed-rate sensor feed (the prosthetic hand's camera) the full TRN
+   can handle — the ladder never moves;
+2. open-loop Poisson traffic with a 4x burst in the middle — the server
+   degrades to a shorter TRN for the duration of the spike and upgrades
+   back when the pressure subsides, trading a little accuracy for deadline
+   compliance instead of missing deadlines wholesale.
+
+Everything runs over virtual time on the device model, so the demo is
+deterministic and finishes in seconds.
+
+Run:  python examples/serve_trace.py
+"""
+
+from repro.device import xavier
+from repro.hand import DEFAULT_DEADLINE_MS
+from repro.serve import (
+    Server,
+    ServerConfig,
+    TRNLadder,
+    poisson_trace,
+    uniform_trace,
+)
+from repro.zoo import build_network
+
+
+def run(server, trace, label):
+    result = server.run_trace(trace)
+    print(f"\n--- {label} ---")
+    print(result.metrics.report())
+    for t_ms, direction, frm, to in result.metrics.snapshot()["transitions"]:
+        print(f"  t={t_ms:9.2f} ms  {direction:8s} {frm} -> {to}")
+    print(f"final rung: {result.final_rung}")
+    return result
+
+
+def main() -> None:
+    device = xavier()
+    deadline = DEFAULT_DEADLINE_MS
+    base = build_network("mobilenet_v1_0.5").build(0)
+    ladder = TRNLadder.from_base(base, device, num_classes=5, max_rungs=6)
+    print(f"device: {device.name}   deadline: {deadline} ms")
+    print(f"TRN ladder for {base.name}:")
+    print(ladder.describe())
+
+    full_ms = ladder.rungs[0].estimate_ms(1)
+    steady_rps = 0.5e3 / full_ms          # half the full TRN's capacity
+    server = Server(ladder, ServerConfig(deadline_ms=deadline,
+                                         execute=False, seed=0))
+
+    calm = uniform_trace(1500, steady_rps, deadline, rng=0)
+    result = run(server, calm,
+                 f"fixed-rate sensor feed ({steady_rps:,.0f} req/s)")
+    assert result.metrics.counters["degrade_events"].value == 0
+
+    bursty = poisson_trace(4000, steady_rps, deadline, rng=0,
+                           burst=(0.25, 0.55, 4.0))
+    run(server, bursty,
+        "Poisson traffic with a 4x burst over the middle 30% of requests")
+
+    print("\nThe burst forces the ladder down to a shorter TRN; the quiet "
+          "tail lets it climb back. Deadline misses stay rare either way — "
+          "that is the point of serving a ladder instead of one TRN.")
+
+
+if __name__ == "__main__":
+    main()

@@ -8,6 +8,7 @@ Usage (after installation, or via ``python -m repro.cli``):
     python -m repro.cli netcut --deadline 0.9 --estimator profiler
     python -m repro.cli estimators               # Fig. 9 error table
     python -m repro.cli pareto                   # frontier + text scatter
+    python -m repro.cli serve --deadline-ms 0.9 --trace poisson
 
 Heavy artifacts (pretrained weights, exploration, latency dataset) are
 cached under ``~/.cache/repro-netcut`` (override with ``REPRO_CACHE_DIR``),
@@ -154,6 +155,50 @@ def cmd_pareto(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Replay a synthetic request trace through the deadline-aware server.
+
+    Builds the TRN ladder of one zoo network (structure only — serving is
+    about latency, so no pretraining is needed), offers Poisson or uniform
+    traffic against the simulated Xavier, and prints the metrics report.
+    By default the offered load is calibrated to overload the full TRN so
+    the ladder degradation is visible; pass ``--rate`` to choose your own.
+    """
+    from repro.device import xavier
+    from repro.serve import (
+        Server,
+        ServerConfig,
+        TRNLadder,
+        poisson_trace,
+        uniform_trace,
+    )
+    from repro.zoo import build_network
+
+    device = xavier()
+    base = build_network(args.net).build(0)
+    ladder = TRNLadder.from_base(base, device, num_classes=5,
+                                 max_rungs=args.max_rungs)
+    full_est = ladder.rungs[0].estimate_ms(1)
+    rate = args.rate if args.rate else 1.3e3 / full_est
+    maker = poisson_trace if args.trace == "poisson" else uniform_trace
+    trace = maker(args.requests, rate, args.deadline_ms, rng=args.seed,
+                  image_size=base.input_shape[0], render=args.execute)
+    config = ServerConfig(deadline_ms=args.deadline_ms,
+                          max_batch=args.max_batch,
+                          adaptive=not args.no_ladder,
+                          execute=args.execute, seed=args.seed)
+    server = Server(ladder, config)
+    result = server.run_trace(trace)
+
+    print(f"TRN ladder for {args.net} on {device.name}:")
+    print(ladder.describe())
+    print(f"\n{args.trace} trace: {args.requests} requests @ "
+          f"{rate:,.0f} req/s, deadline {args.deadline_ms} ms, "
+          f"ladder {'off' if args.no_ladder else 'on'}")
+    print("\n" + result.metrics.report())
+    return 0
+
+
 def cmd_figures(args) -> int:
     """List every reproduced figure/claim and its benchmark."""
     from repro.figures import EXPERIMENTS
@@ -203,6 +248,27 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("pareto", help="TRN Pareto frontier + scatter")
     p.add_argument("--deadline", type=float, default=0.9)
+
+    p = sub.add_parser("serve",
+                       help="deadline-aware serving on a TRN ladder")
+    p.add_argument("--deadline-ms", type=float, default=0.9,
+                   dest="deadline_ms")
+    p.add_argument("--trace", choices=["poisson", "uniform"],
+                   default="poisson")
+    p.add_argument("--net", default="mobilenet_v1_0.5",
+                   help="zoo network whose TRN ladder serves the traffic")
+    p.add_argument("--requests", type=int, default=400)
+    p.add_argument("--rate", type=float, default=None,
+                   help="offered load in requests/s (default: 1.3x the "
+                        "full TRN's single-request capacity)")
+    p.add_argument("--max-batch", type=int, default=8, dest="max_batch")
+    p.add_argument("--max-rungs", type=int, default=6, dest="max_rungs")
+    p.add_argument("--no-ladder", action="store_true", dest="no_ladder",
+                   help="pin the full TRN (disable degradation)")
+    p.add_argument("--execute", action="store_true",
+                   help="run real forward passes on rendered images "
+                        "(slower; default is timing-only simulation)")
+    p.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -214,6 +280,7 @@ _COMMANDS = {
     "estimators": cmd_estimators,
     "figures": cmd_figures,
     "pareto": cmd_pareto,
+    "serve": cmd_serve,
 }
 
 

@@ -11,7 +11,12 @@ from .latency import KernelCost, LatencyBreakdown, kernel_latency_ms, network_la
 from .profiles import DEVICE_PROFILES, agx_boosted, nano
 from .profiler import LatencyTable, LayerRecord, profile_network
 from .quantize import QuantizedNetwork, calibration_split, quantize_tensor
-from .runtime import MeasurementResult, measure_latency, sample_runs
+from .runtime import (
+    MeasurementResult,
+    ServiceTimeSampler,
+    measure_latency,
+    sample_runs,
+)
 from .spec import DeviceSpec
 from .xavier import xavier
 
@@ -33,6 +38,7 @@ __all__ = [
     "LayerRecord",
     "profile_network",
     "MeasurementResult",
+    "ServiceTimeSampler",
     "measure_latency",
     "sample_runs",
     "QuantizedNetwork",

@@ -84,13 +84,19 @@ def kernel_latency_ms(flops: float, bytes_moved: float, spec: DeviceSpec,
 
 
 def _group_cost(net: Network, group: KernelGroup, precision: str,
-                weight_cache_factor: float = 1.0) -> tuple[int, int]:
+                weight_cache_factor: float = 1.0,
+                batch_size: int = 1) -> tuple[int, int]:
     """(flops, bytes) of a fused kernel group.
 
     The group reads its external inputs and weights and writes its final
     output; intermediate tensors within the group stay on-chip (that is the
     point of fusion). FLOPs of all member nodes are summed. Weight traffic
     is discounted by ``weight_cache_factor`` (cache residency).
+
+    ``batch_size`` scales arithmetic and activation traffic; weights are
+    read once per kernel regardless of batch, which (together with the
+    amortised launch overhead and the occupancy ramp) is why micro-batching
+    raises throughput on launch-bound embedded GPUs.
     """
     db = _dtype_bytes(precision)
     member = set(group.node_names)
@@ -108,20 +114,29 @@ def _group_cost(net: Network, group: KernelGroup, precision: str,
                              else net.shape_of(dep))
                 in_elems += int(np.prod(dep_shape))
     out_elems = int(np.prod(net.shape_of(group.node_names[-1])))
-    bytes_moved = int(db * (in_elems + out_elems)
+    bytes_moved = int(db * batch_size * (in_elems + out_elems)
                       + db * weight_cache_factor * weight_elems)
-    return flops, bytes_moved
+    return batch_size * flops, bytes_moved
 
 
 def network_latency(net: Network, spec: DeviceSpec, fused: bool = True,
-                    precision: str = "fp32") -> LatencyBreakdown:
-    """Noise-free latency breakdown of a built network on a device."""
+                    precision: str = "fp32",
+                    batch_size: int = 1) -> LatencyBreakdown:
+    """Noise-free latency breakdown of a built network on a device.
+
+    ``batch_size`` models one batched inference: each kernel processes the
+    whole batch per launch, so latency grows sub-linearly in the batch
+    (launch overhead and weight traffic are paid once, occupancy improves).
+    """
     if not net.built:
         raise RuntimeError(f"network {net.name!r} must be built first")
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
     kernels = []
     for group in fuse_kernels(net, enabled=fused):
         flops, bytes_moved = _group_cost(net, group, precision,
-                                         spec.weight_cache_factor)
+                                         spec.weight_cache_factor,
+                                         batch_size)
         ms = kernel_latency_ms(flops, bytes_moved, spec, precision)
         kernels.append(KernelCost(group.anchor, tuple(group.node_names),
                                   flops, bytes_moved, ms))

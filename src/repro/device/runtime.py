@@ -19,7 +19,8 @@ from repro.nn.graph import Network
 from .latency import LatencyBreakdown, network_latency
 from .spec import DeviceSpec
 
-__all__ = ["MeasurementResult", "sample_runs", "measure_latency"]
+__all__ = ["MeasurementResult", "sample_runs", "measure_latency",
+           "ServiceTimeSampler"]
 
 
 @dataclass(frozen=True)
@@ -82,3 +83,53 @@ def measure_latency(net: Network, spec: DeviceSpec,
     return MeasurementResult(net.name, spec.name,
                              float(samples.mean()), float(samples.std()),
                              runs, warmup)
+
+
+class ServiceTimeSampler:
+    """Per-request measurement hook for the serving stack.
+
+    Where :func:`measure_latency` aggregates a whole benchmarking session
+    into one mean, a server needs the latency of *each individual* batched
+    inference, with the device's warm-up ramp and straggler behaviour
+    carried across consecutive requests. This class keeps a persistent run
+    counter (so the first requests after a cold start really are slower),
+    caches the deterministic per-batch-size baseline, and hands out one
+    noisy sample per call.
+    """
+
+    def __init__(self, net: Network, spec: DeviceSpec,
+                 rng: np.random.Generator | int = 0,
+                 fused: bool = True, precision: str = "fp32"):
+        self.net = net
+        self.spec = spec
+        self.fused = fused
+        self.precision = precision
+        if isinstance(rng, (int, np.integer)):
+            rng = np.random.default_rng(int(rng))
+        self._rng = rng
+        self._base_ms: dict[int, float] = {}
+        self._runs = 0
+
+    @property
+    def runs(self) -> int:
+        """How many inferences this sampler has timed so far."""
+        return self._runs
+
+    def base_ms(self, batch_size: int = 1) -> float:
+        """Noise-free latency of one batched inference (cached)."""
+        if batch_size not in self._base_ms:
+            self._base_ms[batch_size] = network_latency(
+                self.net, self.spec, fused=self.fused,
+                precision=self.precision, batch_size=batch_size).total_ms
+        return self._base_ms[batch_size]
+
+    def sample_ms(self, batch_size: int = 1) -> float:
+        """Draw the measured latency of the next batched inference."""
+        sample = sample_runs(self.base_ms(batch_size), 1, self.spec,
+                             self._rng, start_run=self._runs)
+        self._runs += 1
+        return float(sample[0])
+
+    def warm_up(self, runs: int = 50) -> None:
+        """Advance past the cold-start ramp without recording samples."""
+        self._runs += int(runs)

@@ -98,6 +98,13 @@ EXPERIMENTS: list[Experiment] = [
          "deploy_quantization_drift.txt",
          "deploy_quantization_accuracy.txt")),
     Experiment(
+        "serve", "Beyond the paper",
+        "Deadline-aware serving: EDF queueing, micro-batching and "
+        "TRN-ladder degradation hold the miss rate under overload.",
+        ("repro.serve",),
+        "benchmarks/test_serve_throughput.py",
+        ("serve_throughput.txt",)),
+    Experiment(
         "related", "Section II",
         "Related-work positioning vs BranchyNet, Edgent and NetAdapt, "
         "implemented on the same substrates.",

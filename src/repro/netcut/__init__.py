@@ -2,7 +2,7 @@
 
 from .accounting import CostComparison, ExplorationCost, compare_costs
 from .adapters import AnalyticalAdapter, OracleAdapter, ProfilerAdapter
-from .deploy import DeploymentArtifact, deploy
+from .deploy import DeploymentArtifact, deploy, load_artifact, save_artifact
 from .algorithm import NetCutCandidate, NetCutResult, run_netcut
 from .margin import MarginAdapter, violation_rate
 from .explorer import Exploration, TRNRecord, explore_blockwise, explore_cutpoints
@@ -11,6 +11,8 @@ __all__ = [
     "run_netcut",
     "deploy",
     "DeploymentArtifact",
+    "save_artifact",
+    "load_artifact",
     "NetCutCandidate",
     "NetCutResult",
     "ProfilerAdapter",

@@ -9,6 +9,7 @@ and serialise the result to a single ``.npz``.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 
 import numpy as np
@@ -18,12 +19,12 @@ from repro.device.quantize import QuantizedNetwork, calibration_split
 from repro.device.runtime import measure_latency
 from repro.metrics.angular import mean_angular_similarity
 from repro.nn.graph import Network
-from repro.nn.serialize import save_network
+from repro.nn.serialize import architecture_dict, network_from_dict
 from repro.train.features import record_gap_features
 from repro.train.trainer import train_head_on_features, transplant_head
 from repro.trim.blocks import block_boundaries
 
-__all__ = ["DeploymentArtifact", "deploy"]
+__all__ = ["DeploymentArtifact", "deploy", "save_artifact", "load_artifact"]
 
 
 @dataclass
@@ -95,9 +96,65 @@ def deploy(workbench, deadline_ms: float | None = None,
         artifact.int8_accuracy = mean_angular_similarity(q_pred,
                                                          test_data.y)
     if save_path is not None:
-        save_network(trn, save_path)
-        artifact.path = save_path
+        save_artifact(artifact, save_path)
     return artifact
+
+
+def save_artifact(artifact: DeploymentArtifact, path: str) -> None:
+    """Serialise an artifact (network + validation metadata) to one ``.npz``.
+
+    The file is a superset of the :func:`repro.nn.serialize.save_network`
+    format — a ``__artifact__`` JSON entry carries the measured latency,
+    accuracy and deadline — so it also loads with plain ``load_network``.
+    The INT8 variant is not persisted: it is a deterministic function of
+    the fp32 weights and a calibration set, so it is rebuilt at load time
+    when needed.
+    """
+    net = artifact.network
+    if not net.built:
+        raise RuntimeError("artifact network must be built before saving")
+    meta = {
+        "trn_name": artifact.trn_name,
+        "base_name": artifact.base_name,
+        "measured_latency_ms": artifact.measured_latency_ms,
+        "accuracy": artifact.accuracy,
+        "deadline_ms": artifact.deadline_ms,
+        "int8_accuracy": artifact.int8_accuracy,
+    }
+    np.savez_compressed(
+        path,
+        __architecture__=np.array(json.dumps(architecture_dict(net))),
+        __artifact__=np.array(json.dumps(meta)),
+        **net.state_dict())
+    artifact.path = path
+
+
+def load_artifact(path: str) -> DeploymentArtifact:
+    """Round-trip counterpart of :func:`save_artifact`.
+
+    Rebuilds the TRN and its validation metadata without re-running
+    Algorithm 1 — this is how a server (or a test) gets a ready-to-serve
+    :class:`DeploymentArtifact` from disk.
+    """
+    with np.load(path) as archive:
+        if "__artifact__" not in archive.files:
+            raise ValueError(
+                f"{path!r} has no __artifact__ metadata; use "
+                "repro.nn.serialize.load_network for plain network files")
+        arch = json.loads(str(archive["__architecture__"]))
+        meta = json.loads(str(archive["__artifact__"]))
+        state = {k: archive[k] for k in archive.files
+                 if not k.startswith("__")}
+    net = network_from_dict(arch, state)
+    return DeploymentArtifact(
+        network=net,
+        trn_name=meta["trn_name"],
+        base_name=meta["base_name"],
+        measured_latency_ms=meta["measured_latency_ms"],
+        accuracy=meta["accuracy"],
+        deadline_ms=meta["deadline_ms"],
+        int8_accuracy=meta.get("int8_accuracy", float("nan")),
+        path=path)
 
 
 def _predict(net: Network, data: Dataset, batch_size: int = 128

@@ -112,7 +112,9 @@ class Network:
         Parameters
         ----------
         x:
-            Input batch, shape ``(N,) + input_shape``.
+            Input batch, shape ``(N,) + input_shape``, or one un-batched
+            sample of shape ``input_shape`` (a serving request), which is
+            expanded to a batch of one and squeezed back on return.
         training:
             Propagated to layers (batch-norm statistics, dropout).
         capture:
@@ -125,6 +127,9 @@ class Network:
         """
         if not self._shapes:
             raise RuntimeError("network is not built; call build() first")
+        single = x.shape == self.input_shape
+        if single:
+            x = x[None]
         acts: dict[str, np.ndarray] = {}
         consumers = self._consumer_counts()
         wanted = set(capture or [])
@@ -137,9 +142,29 @@ class Network:
                 if consumers[d] == 0 and d not in wanted and d != self.output_name:
                     acts.pop(d, None)
         out = acts[self.output_name]
+        if single:
+            out = out[0]
+            if capture is not None:
+                return out, {k: acts[k][0] for k in capture}
+            return out
         if capture is not None:
             return out, {k: acts[k] for k in capture}
         return out
+
+    def forward_batch(self, samples, training: bool = False) -> np.ndarray:
+        """Run many single samples as ONE stacked forward pass.
+
+        This is the micro-batching hot path: instead of a per-sample Python
+        loop over :meth:`forward` (paying the full interpreter and
+        layer-dispatch overhead N times), the samples are stacked into a
+        single ``(N,) + input_shape`` batch and pushed through the vectorised
+        layers once. Returns the batched output; row ``i`` is the output for
+        ``samples[i]``.
+        """
+        if not samples:
+            raise ValueError("forward_batch needs at least one sample")
+        return self.forward(np.stack([np.asarray(s) for s in samples]),
+                            training=training)
 
     def _consumer_counts(self) -> dict[str, int]:
         counts = {name: 0 for name in self.nodes}

@@ -38,7 +38,8 @@ from .layers import (
     Softmax,
 )
 
-__all__ = ["save_network", "load_network", "architecture_dict"]
+__all__ = ["save_network", "load_network", "architecture_dict",
+           "network_from_dict"]
 
 
 def _conv_config(layer: Conv2D) -> dict:
@@ -138,12 +139,13 @@ def save_network(net: Network, path: str) -> None:
     np.savez_compressed(path, __architecture__=np.array(arch), **state)
 
 
-def load_network(path: str) -> Network:
-    """Reconstruct a network saved by :func:`save_network`."""
-    with np.load(path) as archive:
-        arch = json.loads(str(archive["__architecture__"]))
-        state = {k: archive[k] for k in archive.files
-                 if k != "__architecture__"}
+def network_from_dict(arch: dict, state: dict[str, np.ndarray]) -> Network:
+    """Rebuild a network from an :func:`architecture_dict` and a state dict.
+
+    The inverse of ``(architecture_dict(net), net.state_dict())``; used by
+    :func:`load_network` and by archives that store extra metadata next to
+    the architecture (e.g. deployment artifacts).
+    """
     net = Network(arch["name"], tuple(arch["input_shape"]))
     for spec in arch["nodes"]:
         net.add(spec["name"], _build_layer(spec["type"], spec["config"]),
@@ -153,3 +155,12 @@ def load_network(path: str) -> Network:
     net.build(0)
     net.load_state_dict(state)
     return net
+
+
+def load_network(path: str) -> Network:
+    """Reconstruct a network saved by :func:`save_network`."""
+    with np.load(path) as archive:
+        arch = json.loads(str(archive["__architecture__"]))
+        state = {k: archive[k] for k in archive.files
+                 if not k.startswith("__")}
+    return network_from_dict(arch, state)

@@ -138,6 +138,37 @@ def _netcut_section(wb, exploration) -> str:
     return "## NetCut selections (Fig. 10)\n\n" + "\n\n".join(sections)
 
 
+def _serving_section(wb) -> str:
+    from repro.serve import Server, ServerConfig, TRNLadder, poisson_trace
+    from repro.zoo import build_network
+
+    base = build_network(wb.config.networks[0]).build(0)
+    ladder = TRNLadder.from_base(base, wb.device,
+                                 num_classes=wb.config.num_classes,
+                                 max_rungs=4)
+    full_ms = ladder.rungs[0].estimate_ms(1)
+    deadline = 1.6 * full_ms
+    trace = poisson_trace(600, 1.3e3 / full_ms, deadline, rng=0)
+    rows = []
+    for label, adaptive in (("TRN ladder", True), ("full TRN only", False)):
+        server = Server(ladder, ServerConfig(
+            deadline_ms=deadline, execute=False, seed=0, adaptive=adaptive,
+            admission_control=False))
+        m = server.run_trace(trace).metrics
+        snap = m.snapshot()
+        rows.append([label, f"{100 * m.miss_rate:.2f}%",
+                     f"{snap['latency']['p99_ms']:.3f}",
+                     snap["counters"]["degrade_events"]
+                     + snap["counters"]["upgrade_events"]])
+    return ("## Deadline-aware serving (beyond the paper)\n\n"
+            + _table(["policy", "miss rate", "p99 (ms)", "transitions"],
+                     rows)
+            + f"\n\n{base.name} under 1.3x overload (600 Poisson requests, "
+              f"deadline {deadline:.3f} ms = 1.6x the full TRN): degrading "
+              "along the TRN ladder trades accuracy for deadline "
+              "compliance instead of missing wholesale.")
+
+
 def build_report(wb) -> str:
     """Assemble the full markdown report for a workbench."""
     exploration = wb.exploration()
@@ -151,6 +182,7 @@ def build_report(wb) -> str:
         _pareto_section(wb, exploration),
         _estimator_section(wb),
         _netcut_section(wb, exploration),
+        _serving_section(wb),
     ]
     return "\n\n".join(parts) + "\n"
 

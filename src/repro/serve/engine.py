@@ -1,0 +1,209 @@
+"""The serving engine: admission → EDF queue → micro-batch → TRN ladder.
+
+A discrete-event loop over virtual time (milliseconds). Requests are
+drained from the trace into a bounded EDF queue under admission control
+(anything whose deadline is already un-meetable per the latency estimator
+is rejected before consuming compute); the engine then repeatedly forms a
+deadline-safe micro-batch, executes it on the ladder's current rung —
+service time drawn from the device's per-request measurement hook
+(:class:`repro.device.runtime.ServiceTimeSampler`) — and feeds observed
+response times to the hysteresis controller, degrading to a faster TRN
+when the windowed p99 threatens the deadline and upgrading back when both
+the observed latencies and the predicted utilisation of the slower rung
+allow it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from .batcher import MicroBatcher
+from .ladder import HysteresisController, TRNLadder
+from .metrics import ServerMetrics
+from .queue import EDFQueue
+from .request import COMPLETED, REJECTED, Request, Response
+
+__all__ = ["ServerConfig", "Engine"]
+
+
+@dataclass
+class ServerConfig:
+    """Every knob of the serving stack, with real-time-friendly defaults."""
+
+    deadline_ms: float = 0.9          # the robotic hand's budget
+    queue_capacity: int = 128
+    max_batch: int = 8
+    batch_slack_ms: float = 0.0       # safety margin for estimator error
+    admission_control: bool = True
+    adaptive: bool = True             # TRN-ladder degradation on/off
+    window: int = 32                  # controller sliding window (requests)
+    min_observations: int = 16
+    cooldown: int = 16
+    degrade_quantile: float = 0.99
+    degrade_ratio: float = 1.0
+    upgrade_ratio: float = 0.5
+    upgrade_cooldown: int | None = None  # default 4x cooldown (lazy upgrades)
+    upgrade_utilization: float = 0.75  # max predicted rho on the slower rung
+    rate_window: int = 64             # arrivals used for rate estimation
+    warm_start: bool = True           # skip the device's cold-start ramp
+    execute: bool = True              # run real forwards (False = timing only)
+    seed: int = 0
+
+
+class Engine:
+    """Runs one trace through the queue/batcher/ladder pipeline."""
+
+    def __init__(self, ladder: TRNLadder, config: ServerConfig,
+                 metrics: ServerMetrics):
+        self.ladder = ladder
+        self.config = config
+        self.metrics = metrics
+        self.queue = EDFQueue(config.queue_capacity)
+        self.batcher = MicroBatcher(config.max_batch, config.batch_slack_ms)
+        self.controller = (HysteresisController(
+            config.deadline_ms, window=config.window,
+            min_observations=config.min_observations,
+            cooldown=config.cooldown, quantile=config.degrade_quantile,
+            degrade_ratio=config.degrade_ratio,
+            upgrade_ratio=config.upgrade_ratio,
+            upgrade_cooldown=config.upgrade_cooldown)
+            if config.adaptive else None)
+        self._arrivals: deque[float] = deque(maxlen=config.rate_window)
+        ladder.reseed(config.seed)
+        if config.warm_start:
+            for rung in ladder.rungs:
+                # the paper's 200-run warm-up, so serving starts past the
+                # clock ramp instead of degrading on cold-start stragglers
+                rung.sampler.warm_up(200)
+
+    # -- admission -----------------------------------------------------------
+    def _admission_estimate_ms(self) -> float:
+        """Best-case service estimate used to detect un-meetable deadlines."""
+        rung = self.ladder.fastest if self.config.adaptive \
+            else self.ladder.current
+        return rung.estimate_ms(1)
+
+    def _admit(self, pending: deque, now_ms: float,
+               responses: dict[int, Response]) -> None:
+        while pending and pending[0].arrival_ms <= now_ms:
+            req: Request = pending.popleft()
+            self.metrics.record_arrival()
+            self._arrivals.append(req.arrival_ms)
+            reason = None
+            if self.config.admission_control:
+                start = max(now_ms, req.arrival_ms)
+                if start + self._admission_estimate_ms() > req.abs_deadline_ms:
+                    reason = "unmeetable-deadline"
+            if reason is None and not self.queue.push(req):
+                reason = "queue-full"
+            if reason is None:
+                self.metrics.record_admission()
+            else:
+                responses[req.rid] = Response(
+                    req.rid, REJECTED, req.arrival_ms, req.abs_deadline_ms,
+                    reject_reason=reason)
+                self.metrics.record_rejection()
+
+    # -- ladder control ------------------------------------------------------
+    def _recent_rate_per_ms(self) -> float | None:
+        if len(self._arrivals) < 2:
+            return None
+        span = self._arrivals[-1] - self._arrivals[0]
+        if span <= 0:
+            return None
+        return (len(self._arrivals) - 1) / span
+
+    def _upgrade_is_safe(self) -> bool:
+        """Would the slower rung stay stable under the observed load?
+
+        Predicted utilisation = arrival rate x per-request service time at
+        the observed batch occupancy. Gating upgrades on this keeps the
+        ladder from climbing straight back into an overload it just
+        escaped (the controller's window only sees the fast rung's easy
+        latencies, so it cannot make this call alone).
+        """
+        slower = self.ladder.peek_slower()
+        if slower is None:
+            return False
+        rate = self._recent_rate_per_ms()
+        if rate is None:
+            return True
+        b = self._observed_batch()
+        per_request_ms = slower.estimate_ms(b) / b
+        return rate * per_request_ms <= self.config.upgrade_utilization
+
+    def _observed_batch(self) -> int:
+        occupancy = self.metrics.mean_batch_size
+        return max(1, int(round(occupancy))) if occupancy == occupancy else 1
+
+    def _degrade_to_stable(self) -> None:
+        """Step down until the predicted utilisation is stable.
+
+        Descending one rung per controller decision costs a full cooldown
+        of misses per step while the backlog keeps growing; instead, jump
+        straight to the first rung whose service rate beats the observed
+        arrival rate (with the upgrade margin as the stability target), or
+        to the fastest rung when none does.
+        """
+        rate = self._recent_rate_per_ms()
+        self.ladder.degrade()
+        if rate is None:
+            return
+        b = self._observed_batch()
+        while self.ladder.can_degrade:
+            per_request_ms = self.ladder.current.estimate_ms(b) / b
+            if rate * per_request_ms <= self.config.upgrade_utilization:
+                break
+            self.ladder.degrade()
+
+    def _apply_policy(self, latency_ms: float, now_ms: float) -> None:
+        if self.controller is None:
+            return
+        decision = self.controller.observe(latency_ms)
+        if decision == "degrade" and self.ladder.can_degrade:
+            frm = self.ladder.current.name
+            self._degrade_to_stable()
+            self.metrics.record_transition(now_ms, "degrade", frm,
+                                           self.ladder.current.name)
+            self.controller.notify_transition()
+        elif (decision == "upgrade" and self.ladder.can_upgrade
+                and self._upgrade_is_safe()):
+            frm = self.ladder.current.name
+            self.ladder.upgrade()
+            self.metrics.record_transition(now_ms, "upgrade", frm,
+                                           self.ladder.current.name)
+            self.controller.notify_transition()
+
+    # -- the event loop ------------------------------------------------------
+    def run(self, trace: list[Request]) -> list[Response]:
+        """Serve a whole trace; returns responses in trace order."""
+        responses: dict[int, Response] = {}
+        pending = deque(sorted(trace, key=lambda r: (r.arrival_ms, r.rid)))
+        now = 0.0
+        while pending or len(self.queue):
+            if not len(self.queue) and pending \
+                    and pending[0].arrival_ms > now:
+                now = pending[0].arrival_ms      # idle until the next arrival
+            self._admit(pending, now, responses)
+            if not len(self.queue):
+                continue
+            rung = self.ladder.current
+            batch = self.batcher.form(self.queue, now, rung)
+            service_ms = rung.sample_service_ms(len(batch))
+            finish = now + service_ms
+            outputs = None
+            if self.config.execute and all(r.x is not None for r in batch):
+                outputs = rung.forward([r.x for r in batch])
+            self.metrics.record_batch(len(batch))
+            for i, req in enumerate(batch):
+                resp = Response(
+                    req.rid, COMPLETED, req.arrival_ms, req.abs_deadline_ms,
+                    rung=rung.name, start_ms=now, finish_ms=finish,
+                    batch_size=len(batch),
+                    output=None if outputs is None else outputs[i])
+                responses[req.rid] = resp
+                self.metrics.record_response(resp)
+                self._apply_policy(resp.latency_ms, finish)
+            now = finish
+        return [responses[r.rid] for r in trace]

@@ -1,0 +1,215 @@
+"""Serving metrics: counters and streaming latency histograms.
+
+The server observes every response exactly once; latencies go into
+fixed-memory log-spaced histograms whose quantiles (p50/p95/p99) are read
+out of the bin boundaries, so memory stays O(bins) no matter how long a
+trace runs. :meth:`ServerMetrics.snapshot` returns a plain dict (the
+monitoring surface) and :meth:`ServerMetrics.report` renders it as the text
+block the CLI prints.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["Counter", "LatencyHistogram", "ServerMetrics"]
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing named counter."""
+
+    name: str
+    value: int = 0
+
+    def increment(self, n: int = 1) -> None:
+        self.value += n
+
+
+class LatencyHistogram:
+    """Streaming histogram over log-spaced bins (default 1 µs .. 10 s).
+
+    Quantiles are estimated as the geometric midpoint of the bin holding
+    the requested rank, which bounds the relative error by the bin ratio
+    (~12% at 20 bins/decade) without retaining samples.
+    """
+
+    def __init__(self, lo_ms: float = 1e-3, hi_ms: float = 1e4,
+                 bins_per_decade: int = 20):
+        self.lo_ms = lo_ms
+        self.hi_ms = hi_ms
+        decades = math.log10(hi_ms / lo_ms)
+        self.n_bins = int(round(decades * bins_per_decade))
+        self._ratio = (hi_ms / lo_ms) ** (1.0 / self.n_bins)
+        # two extra bins catch under/overflow
+        self.counts = [0] * (self.n_bins + 2)
+        self.count = 0
+        self.total_ms = 0.0
+        self.min_ms = float("inf")
+        self.max_ms = 0.0
+
+    def _bin(self, ms: float) -> int:
+        if ms < self.lo_ms:
+            return 0
+        if ms >= self.hi_ms:
+            return self.n_bins + 1
+        return 1 + int(math.log(ms / self.lo_ms) / math.log(self._ratio))
+
+    def observe(self, ms: float) -> None:
+        """Record one latency sample (milliseconds)."""
+        self.counts[self._bin(ms)] += 1
+        self.count += 1
+        self.total_ms += ms
+        self.min_ms = min(self.min_ms, ms)
+        self.max_ms = max(self.max_ms, ms)
+
+    @property
+    def mean_ms(self) -> float:
+        return self.total_ms / self.count if self.count else float("nan")
+
+    def quantile(self, q: float) -> float:
+        """Approximate q-quantile (q in [0, 1]) in milliseconds."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        if self.count == 0:
+            return float("nan")
+        rank = q * (self.count - 1)
+        cum = 0
+        for i, c in enumerate(self.counts):
+            cum += c
+            if cum > rank:
+                if i == 0:
+                    return self.lo_ms
+                if i == self.n_bins + 1:
+                    return self.max_ms
+                lo = self.lo_ms * self._ratio ** (i - 1)
+                return min(max(lo * math.sqrt(self._ratio), self.min_ms),
+                           self.max_ms)
+        return self.max_ms
+
+    def snapshot(self) -> dict:
+        """Summary statistics as a plain dict."""
+        empty = self.count == 0
+        return {
+            "count": self.count,
+            "mean_ms": self.mean_ms,
+            "min_ms": float("nan") if empty else self.min_ms,
+            "max_ms": float("nan") if empty else self.max_ms,
+            "p50_ms": self.quantile(0.50),
+            "p95_ms": self.quantile(0.95),
+            "p99_ms": self.quantile(0.99),
+        }
+
+
+@dataclass
+class DegradationEvent:
+    """One ladder transition, recorded for post-hoc analysis."""
+
+    time_ms: float
+    direction: str          # "degrade" or "upgrade"
+    from_rung: str
+    to_rung: str
+
+
+class ServerMetrics:
+    """All counters and histograms of one serving run."""
+
+    COUNTERS = ("arrived", "admitted", "rejected", "completed",
+                "deadline_miss", "batches", "degrade_events",
+                "upgrade_events")
+
+    def __init__(self, deadline_ms: float):
+        self.deadline_ms = deadline_ms
+        self.counters = {name: Counter(name) for name in self.COUNTERS}
+        self.latency = LatencyHistogram()
+        self.queue_wait = LatencyHistogram()
+        self.service = LatencyHistogram()
+        self.batch_occupancy_sum = 0
+        self.per_rung: dict[str, int] = {}
+        self.events: list[DegradationEvent] = []
+
+    # -- recording ----------------------------------------------------------
+    def record_arrival(self) -> None:
+        self.counters["arrived"].increment()
+
+    def record_rejection(self) -> None:
+        self.counters["rejected"].increment()
+
+    def record_admission(self) -> None:
+        self.counters["admitted"].increment()
+
+    def record_batch(self, size: int) -> None:
+        self.counters["batches"].increment()
+        self.batch_occupancy_sum += size
+
+    def record_response(self, response) -> None:
+        """Record one COMPLETED response (rejections use record_rejection)."""
+        self.counters["completed"].increment()
+        if not response.deadline_met:
+            self.counters["deadline_miss"].increment()
+        self.latency.observe(response.latency_ms)
+        self.queue_wait.observe(max(response.queue_ms, 0.0))
+        self.service.observe(response.service_ms)
+        if response.rung is not None:
+            self.per_rung[response.rung] = \
+                self.per_rung.get(response.rung, 0) + 1
+
+    def record_transition(self, time_ms: float, direction: str,
+                          from_rung: str, to_rung: str) -> None:
+        key = "degrade_events" if direction == "degrade" else "upgrade_events"
+        self.counters[key].increment()
+        self.events.append(
+            DegradationEvent(time_ms, direction, from_rung, to_rung))
+
+    # -- read-out -----------------------------------------------------------
+    @property
+    def miss_rate(self) -> float:
+        """Deadline misses as a fraction of completed requests."""
+        done = self.counters["completed"].value
+        return (self.counters["deadline_miss"].value / done
+                if done else 0.0)
+
+    @property
+    def mean_batch_size(self) -> float:
+        batches = self.counters["batches"].value
+        return self.batch_occupancy_sum / batches if batches else float("nan")
+
+    def snapshot(self) -> dict:
+        """The whole metrics surface as one JSON-able dict."""
+        return {
+            "deadline_ms": self.deadline_ms,
+            "counters": {n: c.value for n, c in self.counters.items()},
+            "miss_rate": self.miss_rate,
+            "mean_batch_size": self.mean_batch_size,
+            "latency": self.latency.snapshot(),
+            "queue_wait": self.queue_wait.snapshot(),
+            "service": self.service.snapshot(),
+            "per_rung": dict(self.per_rung),
+            "transitions": [(e.time_ms, e.direction, e.from_rung, e.to_rung)
+                            for e in self.events],
+        }
+
+    def report(self) -> str:
+        """Human-readable metrics block (what ``repro serve`` prints)."""
+        snap = self.snapshot()
+        c = snap["counters"]
+        lat = snap["latency"]
+        lines = [
+            f"deadline {self.deadline_ms:.3f} ms",
+            f"requests: {c['arrived']} arrived, {c['admitted']} admitted, "
+            f"{c['rejected']} rejected, {c['completed']} completed",
+            f"deadline misses: {c['deadline_miss']} "
+            f"(miss rate {100 * snap['miss_rate']:.2f}%)",
+            f"latency ms: p50 {lat['p50_ms']:.3f}  p95 {lat['p95_ms']:.3f}  "
+            f"p99 {lat['p99_ms']:.3f}  max {lat['max_ms']:.3f}",
+            f"batches: {c['batches']} "
+            f"(mean occupancy {snap['mean_batch_size']:.2f})",
+            f"ladder: {c['degrade_events']} degrade / "
+            f"{c['upgrade_events']} upgrade events",
+        ]
+        if snap["per_rung"]:
+            served = ", ".join(f"{name}: {n}"
+                               for name, n in snap["per_rung"].items())
+            lines.append(f"served by: {served}")
+        return "\n".join(lines)

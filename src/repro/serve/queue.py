@@ -1,0 +1,63 @@
+"""A bounded earliest-deadline-first request queue.
+
+EDF is the natural discipline for deadline serving: executing the request
+whose absolute deadline is closest maximises the number of deadlines met
+on a single server when the system is feasible, and degrades gracefully
+under overload (the requests sacrificed are the ones that were already
+closest to missing). Ties break FIFO via a monotone sequence number so the
+order is fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from .request import Request
+
+__all__ = ["EDFQueue"]
+
+
+class EDFQueue:
+    """Bounded priority queue ordered by absolute deadline, then arrival."""
+
+    def __init__(self, capacity: int = 128):
+        if capacity < 1:
+            raise ValueError("queue capacity must be >= 1")
+        self.capacity = capacity
+        self._heap: list[tuple[float, int, Request]] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def full(self) -> bool:
+        return len(self._heap) >= self.capacity
+
+    def push(self, request: Request) -> bool:
+        """Enqueue; returns False (request dropped) when the queue is full."""
+        if self.full:
+            return False
+        heapq.heappush(self._heap,
+                       (request.abs_deadline_ms, self._seq, request))
+        self._seq += 1
+        return True
+
+    def peek(self) -> Request:
+        """The request with the earliest absolute deadline."""
+        if not self._heap:
+            raise IndexError("peek on empty EDFQueue")
+        return self._heap[0][2]
+
+    def pop(self) -> Request:
+        """Remove and return the earliest-deadline request."""
+        if not self._heap:
+            raise IndexError("pop on empty EDFQueue")
+        return heapq.heappop(self._heap)[2]
+
+    def drain(self) -> list[Request]:
+        """Remove every queued request in EDF order."""
+        out = []
+        while self._heap:
+            out.append(self.pop())
+        return out

@@ -1,0 +1,76 @@
+"""The Server facade: a TRN ladder behind a deadline-aware front door.
+
+This is the user-facing entry point of :mod:`repro.serve`::
+
+    ladder = TRNLadder.from_base(base, xavier(), num_classes=5)
+    server = Server(ladder, ServerConfig(deadline_ms=0.9))
+    result = server.run_trace(poisson_trace(1000, rate_rps=2500,
+                                            deadline_ms=0.9))
+    print(result.metrics.report())
+
+Each :meth:`Server.run_trace` call is an independent, fully deterministic
+run: the ladder cursor is parked back on the most accurate rung, every
+rung's measurement RNG is reseeded from the config seed, and fresh metrics
+are collected — so the same (ladder, config, trace) triple always yields
+identical schedules, transitions and numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from .engine import Engine, ServerConfig
+from .ladder import TRNLadder
+from .metrics import ServerMetrics
+from .request import Request, Response
+
+__all__ = ["Server", "ServerConfig", "ServingResult"]
+
+
+@dataclass
+class ServingResult:
+    """Everything one serving run produced."""
+
+    responses: list[Response]
+    metrics: ServerMetrics
+    final_rung: str
+    config: ServerConfig = field(repr=False, default=None)
+
+    @property
+    def completed(self) -> list[Response]:
+        return [r for r in self.responses if r.status == "completed"]
+
+    @property
+    def rejected(self) -> list[Response]:
+        return [r for r in self.responses if r.status == "rejected"]
+
+    @property
+    def missed(self) -> list[Response]:
+        """Completed responses that overran their deadline."""
+        return [r for r in self.completed if not r.deadline_met]
+
+
+class Server:
+    """Deadline-aware inference server over a TRN ladder."""
+
+    def __init__(self, ladder: TRNLadder,
+                 config: ServerConfig | None = None):
+        self.ladder = ladder
+        self.config = config or ServerConfig()
+
+    def run_trace(self, trace: list[Request],
+                  **overrides) -> ServingResult:
+        """Replay a request trace through a fresh engine.
+
+        Keyword overrides patch the server config for this run only, e.g.
+        ``server.run_trace(trace, adaptive=False)`` to get the fixed-rung
+        baseline of the same scenario.
+        """
+        config = replace(self.config, **overrides) if overrides \
+            else self.config
+        self.ladder.reset(0)
+        metrics = ServerMetrics(config.deadline_ms)
+        engine = Engine(self.ladder, config, metrics)
+        responses = engine.run(trace)
+        return ServingResult(responses, metrics,
+                             self.ladder.current.name, config)
