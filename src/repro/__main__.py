@@ -1,0 +1,8 @@
+"""Make ``python -m repro`` a synonym for ``python -m repro.cli``."""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

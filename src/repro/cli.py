@@ -9,6 +9,10 @@ Usage (after installation, or via ``python -m repro.cli``):
     python -m repro.cli estimators               # Fig. 9 error table
     python -m repro.cli pareto                   # frontier + text scatter
     python -m repro.cli serve --deadline-ms 0.9 --trace poisson
+    python -m repro.cli profile --net resnet --cutpoint 3
+    python -m repro.cli trace --out serve.jsonl --chrome serve.trace.json
+
+(``python -m repro ...`` is an equivalent spelling of every command.)
 
 Heavy artifacts (pretrained weights, exploration, latency dataset) are
 cached under ``~/.cache/repro-netcut`` (override with ``REPRO_CACHE_DIR``),
@@ -199,6 +203,115 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def _resolve_net(name: str) -> str:
+    """Resolve a zoo network by exact name or unique prefix/substring."""
+    from repro.zoo import NETWORKS
+
+    if name in NETWORKS:
+        return name
+    matches = [n for n in NETWORKS if n.startswith(name)] \
+        or [n for n in NETWORKS if name in n]
+    if len(matches) != 1:
+        raise SystemExit(
+            f"--net {name!r} is ambiguous or unknown; zoo networks: "
+            + ", ".join(NETWORKS))
+    return matches[0]
+
+
+def cmd_profile(args) -> int:
+    """Profile one zoo network layer-by-layer through the obs hooks.
+
+    Prints the per-layer latency table accumulated by
+    :class:`repro.obs.LayerProfiler` over real (hooked) forward passes,
+    and — when ``--cutpoint`` is given — reproduces the paper's ratio-form
+    TRN latency estimate from that table, next to the estimate from the
+    device's own profiler and the TRN's direct model latency.
+    """
+    from repro.device import network_latency, profile_network, xavier
+    from repro.estimators import ProfilerEstimator
+    from repro.obs import profile_forward
+    from repro.trim import build_trn, enumerate_blockwise, removed_node_set
+    from repro.zoo import build_network
+
+    spec = xavier()
+    net = build_network(_resolve_net(args.net)).build(0)
+    table = profile_forward(net, spec, runs=args.runs, warmup=args.warmup,
+                            rng=args.seed)
+    print(table.describe(top=args.top))
+    if args.cutpoint is None:
+        return 0
+    cuts = enumerate_blockwise(net)
+    if not 0 <= args.cutpoint < len(cuts):
+        raise SystemExit(f"--cutpoint {args.cutpoint} out of range; "
+                         f"{net.name} has {len(cuts)} blockwise cutpoints")
+    cut = cuts[args.cutpoint]
+    removed = removed_node_set(net, cut.cut_node)
+    est_obs = ProfilerEstimator(net, table).estimate(removed)
+    est_dev = ProfilerEstimator(net, profile_network(net, spec)) \
+        .estimate(removed)
+    trn = build_trn(net, cut.cut_node, num_classes=5)
+    direct = network_latency(trn, spec).total_ms
+    print(f"\ncutpoint {args.cutpoint} ({cut.cut_node}, "
+          f"{cut.blocks_removed} blocks removed) -> {trn.name}")
+    print(f"ratio estimate from obs table:    {est_obs:.4f} ms")
+    print(f"ratio estimate from device table: {est_dev:.4f} ms "
+          f"({100 * abs(est_obs - est_dev) / est_dev:.2f}% apart)")
+    print(f"TRN direct model latency:         {direct:.4f} ms "
+          "(feature part estimated, fresh head replaces the old one)")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Replay a serve trace with full observability attached.
+
+    Same scenario as ``serve``, plus a request tracer (JSONL and Chrome
+    trace export), an estimator-drift monitor, and the unified metrics
+    registry report.
+    """
+    from repro.device import xavier
+    from repro.obs import (
+        DriftMonitor,
+        MetricsRegistry,
+        Tracer,
+        write_chrome_trace,
+        write_jsonl,
+    )
+    from repro.serve import Server, ServerConfig, TRNLadder, poisson_trace
+    from repro.zoo import build_network
+
+    device = xavier()
+    base = build_network(_resolve_net(args.net)).build(0)
+    ladder = TRNLadder.from_base(base, device, num_classes=5,
+                                 max_rungs=args.max_rungs)
+    full_est = ladder.rungs[0].estimate_ms(1)
+    rate = args.rate if args.rate else 1.3e3 / full_est
+    trace = poisson_trace(args.requests, rate, args.deadline_ms,
+                          rng=args.seed)
+    tracer = Tracer(capacity=args.buffer)
+    drift = DriftMonitor(threshold=args.drift_threshold)
+    server = Server(ladder, ServerConfig(deadline_ms=args.deadline_ms,
+                                         execute=False, seed=args.seed),
+                    tracer=tracer, drift=drift)
+    result = server.run_trace(trace)
+
+    registry = MetricsRegistry()
+    registry.gauge("serve.final_rung").set(ladder.current_index)
+    registry.mount("serve", result.metrics)
+    registry.mount("trace", tracer)
+    registry.mount("drift", drift)
+    print(f"{args.requests} Poisson requests @ {rate:,.0f} req/s, "
+          f"deadline {args.deadline_ms} ms, seed {args.seed}\n")
+    print(registry.report())
+    if args.out:
+        n = write_jsonl(tracer, args.out)
+        print(f"\nwrote {n} spans to {args.out}")
+    if args.chrome:
+        n = write_chrome_trace(tracer, args.chrome)
+        print(f"wrote {n} spans to {args.chrome} "
+              "(load in chrome://tracing)")
+    return 0
+
+
 def cmd_figures(args) -> int:
     """List every reproduced figure/claim and its benchmark."""
     from repro.figures import EXPERIMENTS
@@ -269,6 +382,43 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run real forward passes on rendered images "
                         "(slower; default is timing-only simulation)")
     p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("profile",
+                       help="per-layer latency table via forward hooks")
+    p.add_argument("--net", default="mobilenet_v1_0.5",
+                   help="zoo network (exact name, prefix or substring)")
+    p.add_argument("--cutpoint", type=int, default=None,
+                   help="blockwise cutpoint index: also print the "
+                        "ratio-form TRN estimate from the table")
+    p.add_argument("--runs", type=int, default=100,
+                   help="recorded forward passes")
+    p.add_argument("--warmup", type=int, default=200,
+                   help="discarded warm-up runs (paper protocol: 200)")
+    p.add_argument("--top", type=int, default=None,
+                   help="show only the N slowest kernels")
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("trace",
+                       help="traced serving replay with drift monitoring")
+    p.add_argument("--net", default="mobilenet_v1_0.5",
+                   help="zoo network (exact name, prefix or substring)")
+    p.add_argument("--deadline-ms", type=float, default=0.9,
+                   dest="deadline_ms")
+    p.add_argument("--requests", type=int, default=400)
+    p.add_argument("--rate", type=float, default=None,
+                   help="offered load in requests/s (default: 1.3x the "
+                        "full TRN's single-request capacity)")
+    p.add_argument("--max-rungs", type=int, default=6, dest="max_rungs")
+    p.add_argument("--buffer", type=int, default=65536,
+                   help="trace buffer capacity (spans)")
+    p.add_argument("--drift-threshold", type=float, default=0.25,
+                   dest="drift_threshold",
+                   help="rolling |relative error| that raises a drift event")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="write spans as JSON lines")
+    p.add_argument("--chrome", default=None, metavar="PATH",
+                   help="write a chrome://tracing JSON file")
+    p.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -281,6 +431,8 @@ _COMMANDS = {
     "figures": cmd_figures,
     "pareto": cmd_pareto,
     "serve": cmd_serve,
+    "profile": cmd_profile,
+    "trace": cmd_trace,
 }
 
 

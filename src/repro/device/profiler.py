@@ -52,6 +52,31 @@ class LatencyTable:
         """Total recorded time of kernels anchored at the given nodes."""
         return sum(r.recorded_ms for r in self.records if r.anchor in names)
 
+    def describe(self, top: int | None = None) -> str:
+        """Human-readable per-layer table (what ``repro profile`` prints).
+
+        One row per recorded kernel in execution order — anchor node,
+        fused member count, recorded latency and its share of the recorded
+        total — followed by the total-vs-end-to-end line that motivates
+        the paper's ratio formula. ``top`` keeps only the slowest kernels.
+        """
+        total = self.recorded_total_ms
+        rows = list(self.records)
+        if top is not None:
+            rows = sorted(rows, key=lambda r: -r.recorded_ms)[:top]
+        lines = [f"{self.network} on {self.device}",
+                 f"{'kernel (anchor)':28s} {'fused':>5s} "
+                 f"{'recorded_ms':>12s} {'share':>7s}"]
+        for r in rows:
+            lines.append(f"{r.anchor:28s} {len(r.node_names):>5d} "
+                         f"{r.recorded_ms:>12.5f} "
+                         f"{100 * r.recorded_ms / total:>6.2f}%")
+        lines.append(f"recorded total {total:.4f} ms  >  end-to-end "
+                     f"{self.end_to_end_ms:.4f} ms "
+                     f"(event overhead x{len(self.records)} kernels; "
+                     "the ratio formula cancels it)")
+        return "\n".join(lines)
+
 
 def profile_network(net: Network, spec: DeviceSpec,
                     rng: np.random.Generator | int | None = None,

@@ -11,6 +11,11 @@ Nodes carry metadata used throughout the repository:
   inception modules, ...) that blockwise layer removal operates on.
 - ``role`` is one of ``"stem"``, ``"feature"`` or ``"head"``; layer removal
   only ever removes ``"feature"`` blocks and replaces the ``"head"``.
+
+Networks also support *forward hooks* — callables fired around every node
+during :meth:`Network.forward` (and therefore :meth:`Network.forward_batch`).
+They are the substrate :mod:`repro.obs` builds its per-layer profiler on:
+observers see execution without the network knowing who is watching.
 """
 
 from __future__ import annotations
@@ -52,6 +57,9 @@ class Network:
         self.nodes: dict[str, Node] = {}
         self.output_name: str | None = None
         self._shapes: dict[str, Shape] = {}
+        self._pre_hooks: dict[int, object] = {}
+        self._post_hooks: dict[int, object] = {}
+        self._next_hook_id = 0
         self.add("input", Input(self.input_shape), inputs=[], role="stem")
 
     # -- construction ------------------------------------------------------
@@ -104,6 +112,41 @@ class Network:
             raise RuntimeError("network is not built; call build() first")
         return self._shapes[name]
 
+    # -- hooks -------------------------------------------------------------
+    def register_forward_pre_hook(self, fn) -> int:
+        """Register ``fn(network, node, inputs)`` to fire before each node.
+
+        ``inputs`` is the list of input activations about to be consumed.
+        Returns an integer handle for :meth:`remove_hook`. Hooks fire in
+        registration order, for every node of every :meth:`forward` /
+        :meth:`forward_batch` call, and must not mutate the activations.
+        """
+        handle = self._next_hook_id
+        self._next_hook_id += 1
+        self._pre_hooks[handle] = fn
+        return handle
+
+    def register_forward_hook(self, fn) -> int:
+        """Register ``fn(network, node, inputs, output)`` after each node.
+
+        Same contract as :meth:`register_forward_pre_hook`, fired once the
+        node's output activation exists.
+        """
+        handle = self._next_hook_id
+        self._next_hook_id += 1
+        self._post_hooks[handle] = fn
+        return handle
+
+    def remove_hook(self, handle: int) -> None:
+        """Detach a hook by the handle its registration returned."""
+        self._pre_hooks.pop(handle, None)
+        self._post_hooks.pop(handle, None)
+
+    @property
+    def has_hooks(self) -> bool:
+        """Whether any forward hook is currently attached."""
+        return bool(self._pre_hooks or self._post_hooks)
+
     # -- execution ---------------------------------------------------------
     def forward(self, x: np.ndarray, training: bool = False,
                 capture: list[str] | None = None):
@@ -135,7 +178,11 @@ class Network:
         wanted = set(capture or [])
         for node in self.nodes.values():
             ins = [acts[d] for d in node.inputs] if node.inputs else [x]
+            for fn in self._pre_hooks.values():
+                fn(self, node, ins)
             acts[node.name] = node.layer.forward(ins, training=training)
+            for fn in self._post_hooks.values():
+                fn(self, node, ins, acts[node.name])
             # free activations no longer needed to bound memory
             for d in node.inputs:
                 consumers[d] -= 1
@@ -326,12 +373,18 @@ class Network:
 
     # -- structural edits & persistence --------------------------------------
     def copy(self) -> "Network":
-        """Deep copy: new layer objects, independent parameters."""
+        """Deep copy: new layer objects, independent parameters.
+
+        Hooks are observers of one network instance, not part of its
+        structure, so the clone starts with none attached.
+        """
         clone = Network.__new__(Network)
         clone.name = self.name
         clone.input_shape = self.input_shape
         clone.output_name = self.output_name
         clone._shapes = dict(self._shapes)
+        clone._pre_hooks, clone._post_hooks = {}, {}
+        clone._next_hook_id = 0
         clone.nodes = {}
         for name, node in self.nodes.items():
             clone.nodes[name] = Node(node.name, copy.deepcopy(node.layer),
@@ -357,6 +410,8 @@ class Network:
         clone = Network.__new__(Network)
         clone.name = name or f"{self.name}[:{upto}]"
         clone.input_shape = self.input_shape
+        clone._pre_hooks, clone._post_hooks = {}, {}
+        clone._next_hook_id = 0
         clone.nodes = {}
         for nname, node in self.nodes.items():
             if nname in needed:

@@ -1,0 +1,51 @@
+"""Observability for the NetCut stack: profile, trace, and watch for drift.
+
+NetCut's estimator is itself an observability artifact — a per-layer
+latency table scaled by a removed/total ratio — and the serving stack's
+control decisions all ride on that estimate. This subpackage makes the
+instrumentation first-class:
+
+- :class:`LayerProfiler` / :func:`profile_forward` — per-layer latency
+  tables accumulated from live forward passes through graph hooks, with
+  warm-up discard and the paper's event-overhead artefact, exported as the
+  :class:`repro.device.LatencyTable` the ratio-form estimator consumes.
+- :class:`Tracer` / :class:`TraceBuffer` / :class:`Span` — request spans
+  (``enqueue → admit → batch → forward → respond``, ``drop``) over the
+  serving engine's virtual clock, exportable as JSONL
+  (:func:`write_jsonl`) or ``chrome://tracing`` files
+  (:func:`write_chrome_trace`).
+- :class:`DriftMonitor` — an online comparator of predicted vs. observed
+  service times that raises structured :class:`DriftEvent`\\ s when the
+  rolling relative error crosses a threshold.
+- :class:`MetricsRegistry` — one ``snapshot()``/``report()`` namespace
+  over serve metrics, trace statistics, drift state and custom gauges.
+
+Attach to a server with plain keyword arguments::
+
+    tracer, drift = Tracer(), DriftMonitor()
+    server = Server(ladder, config, tracer=tracer, drift=drift)
+    server.run_trace(trace)
+    write_chrome_trace(tracer, "serve.trace.json")
+"""
+
+from .drift import DriftEvent, DriftMonitor
+from .export import chrome_trace, to_jsonl, write_chrome_trace, write_jsonl
+from .profiler import LayerProfiler, profile_forward
+from .registry import Gauge, MetricsRegistry
+from .tracing import Span, TraceBuffer, Tracer
+
+__all__ = [
+    "LayerProfiler",
+    "profile_forward",
+    "Span",
+    "TraceBuffer",
+    "Tracer",
+    "to_jsonl",
+    "write_jsonl",
+    "chrome_trace",
+    "write_chrome_trace",
+    "DriftEvent",
+    "DriftMonitor",
+    "Gauge",
+    "MetricsRegistry",
+]

@@ -1,0 +1,92 @@
+"""Trace exporters: JSONL and the Chrome trace-event format.
+
+JSONL (one span per line) is the archival/diff-friendly form — two runs
+with the same seed produce byte-identical files. The Chrome form follows
+the Trace Event Format's ``traceEvents`` array of complete (``ph: "X"``)
+and instant (``ph: "i"``) events with microsecond timestamps, so a serving
+run can be dropped straight into ``chrome://tracing`` or Perfetto:
+requests group by category track, batches show as duration blocks, drops
+as instants.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from .tracing import Span, Tracer
+
+__all__ = ["to_jsonl", "write_jsonl", "chrome_trace", "write_chrome_trace"]
+
+
+def _spans(source: Tracer | Iterable[Span]) -> list[Span]:
+    if isinstance(source, Tracer):
+        return source.spans()
+    return list(source)
+
+
+def _json_default(obj):
+    # span args routinely carry numpy scalars (np.bool_, np.float64, ...)
+    if hasattr(obj, "item"):
+        return obj.item()
+    raise TypeError(f"Object of type {type(obj).__name__} "
+                    "is not JSON serializable")
+
+
+def to_jsonl(source: Tracer | Iterable[Span]) -> str:
+    """Render spans as JSON Lines (sorted keys: deterministic bytes)."""
+    return "\n".join(json.dumps(s.as_dict(), sort_keys=True,
+                                default=_json_default)
+                     for s in _spans(source))
+
+
+def write_jsonl(source: Tracer | Iterable[Span], path: str) -> int:
+    """Write a JSONL trace; returns the number of spans written."""
+    spans = _spans(source)
+    with open(path, "w") as fh:
+        if spans:
+            fh.write(to_jsonl(spans) + "\n")
+    return len(spans)
+
+
+def chrome_trace(source: Tracer | Iterable[Span],
+                 process_name: str = "repro.serve") -> dict:
+    """Build a Chrome trace-event dict (``json.dump`` it to a file).
+
+    Virtual milliseconds map to trace microseconds; each span category
+    becomes one thread track so queueing, batching and serving stack
+    vertically in the viewer.
+    """
+    tids = {}
+    events = [{"name": "process_name", "ph": "M", "pid": 0, "tid": 0,
+               "args": {"name": process_name}}]
+    for span in _spans(source):
+        tid = tids.setdefault(span.cat, len(tids))
+        event = {"name": span.name, "cat": span.cat, "pid": 0, "tid": tid,
+                 "ts": span.ts_ms * 1e3}
+        args = dict(span.args)
+        if span.rid is not None:
+            args["rid"] = span.rid
+        if args:
+            event["args"] = args
+        if span.dur_ms > 0:
+            event["ph"] = "X"
+            event["dur"] = span.dur_ms * 1e3
+        else:
+            event["ph"] = "i"
+            event["s"] = "g"
+        events.append(event)
+    for cat, tid in tids.items():
+        events.append({"name": "thread_name", "ph": "M", "pid": 0,
+                       "tid": tid, "args": {"name": cat}})
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(source: Tracer | Iterable[Span], path: str,
+                       process_name: str = "repro.serve") -> int:
+    """Write a ``chrome://tracing`` file; returns the span count."""
+    spans = _spans(source)
+    with open(path, "w") as fh:
+        json.dump(chrome_trace(spans, process_name), fh, sort_keys=True,
+                  default=_json_default)
+    return len(spans)

@@ -1,0 +1,114 @@
+"""A small metrics registry: one namespace over every metrics surface.
+
+The serving stack (:class:`repro.serve.ServerMetrics`), the tracer, the
+drift monitor and the layer profiler each expose ``snapshot() -> dict``
+(and most a human-readable ``report() -> str``). The registry mounts any
+number of such components under dotted names, adds free-standing counters
+and gauges of its own, and renders everything through a single
+``snapshot()``/``report()`` pair — the one monitoring surface the CLI's
+``trace``/``profile`` subcommands print.
+
+Snapshots are deep copies: mutating what a caller got back never corrupts
+live metrics.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+
+from repro.serve.metrics import Counter, LatencyHistogram
+
+__all__ = ["Gauge", "MetricsRegistry"]
+
+
+@dataclass
+class Gauge:
+    """A named value that goes up and down (queue depth, current rung, ...)."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class MetricsRegistry:
+    """Named counters, gauges, histograms and mounted components.
+
+    ::
+
+        reg = MetricsRegistry()
+        reg.counter("serve.restarts").increment()
+        reg.gauge("serve.rung").set(2)
+        reg.mount("serve", result.metrics)     # anything with snapshot()
+        reg.mount("trace", tracer)
+        reg.mount("drift", drift_monitor)
+        print(reg.report())
+        data = reg.snapshot()                  # one nested, JSON-able dict
+    """
+
+    def __init__(self):
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, LatencyHistogram] = {}
+        self._mounted: dict[str, object] = {}
+
+    # -- creation ------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        """Get or create a counter (idempotent by name)."""
+        return self._counters.setdefault(name, Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create a gauge."""
+        return self._gauges.setdefault(name, Gauge(name))
+
+    def histogram(self, name: str, **kwargs) -> LatencyHistogram:
+        """Get or create a streaming latency histogram."""
+        if name not in self._histograms:
+            self._histograms[name] = LatencyHistogram(**kwargs)
+        return self._histograms[name]
+
+    def mount(self, name: str, component) -> None:
+        """Mount any object exposing ``snapshot() -> dict`` under ``name``."""
+        if not hasattr(component, "snapshot"):
+            raise TypeError(
+                f"component {name!r} has no snapshot() method")
+        self._mounted[name] = component
+
+    # -- read-out ------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Everything, deep-copied, under one nested dict."""
+        out: dict = {}
+        if self._counters:
+            out["counters"] = {n: c.value for n, c in self._counters.items()}
+        if self._gauges:
+            out["gauges"] = {n: g.value for n, g in self._gauges.items()}
+        if self._histograms:
+            out["histograms"] = {n: h.snapshot()
+                                 for n, h in self._histograms.items()}
+        for name, component in self._mounted.items():
+            out[name] = component.snapshot()
+        return copy.deepcopy(out)
+
+    def report(self) -> str:
+        """A sectioned text block: own metrics first, then each mount."""
+        lines: list[str] = []
+        for name, c in sorted(self._counters.items()):
+            lines.append(f"{name}: {c.value}")
+        for name, g in sorted(self._gauges.items()):
+            lines.append(f"{name}: {g.value:g}")
+        for name, h in sorted(self._histograms.items()):
+            s = h.snapshot()
+            lines.append(f"{name}: n={s['count']} p50 {s['p50_ms']:.3f} "
+                         f"p95 {s['p95_ms']:.3f} p99 {s['p99_ms']:.3f} ms")
+        for name, component in self._mounted.items():
+            lines.append(f"-- {name} --")
+            if hasattr(component, "report"):
+                lines.append(component.report())
+            else:
+                lines.append(str(component.snapshot()))
+        return "\n".join(lines)

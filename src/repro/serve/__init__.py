@@ -12,7 +12,9 @@ and wall-clock-free.
 
 Entry points: :class:`Server` / :class:`ServerConfig` (the facade),
 :class:`TRNLadder` (build from networks, deployment artifacts or a base
-network), and :func:`poisson_trace` (synthetic traffic).
+network), and :func:`poisson_trace` (synthetic traffic). Observability —
+request tracing and estimator-drift monitoring — plugs in through
+``Server(..., tracer=..., drift=...)``; see :mod:`repro.obs`.
 """
 
 from .batcher import MicroBatcher

@@ -19,15 +19,23 @@ __all__ = ["MicroBatcher"]
 
 
 class MicroBatcher:
-    """Form deadline-safe micro-batches from the head of an EDF queue."""
+    """Form deadline-safe micro-batches from the head of an EDF queue.
 
-    def __init__(self, max_batch: int = 8, slack_margin_ms: float = 0.0):
+    ``tracer`` (e.g. :class:`repro.obs.Tracer`) receives one ``batch``
+    span per formed batch carrying the batch size; the engine's matching
+    ``forward`` span carries the member rids and executed rung.
+    """
+
+    def __init__(self, max_batch: int = 8, slack_margin_ms: float = 0.0,
+                 tracer=None):
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         if slack_margin_ms < 0:
             raise ValueError("slack_margin_ms must be >= 0")
         self.max_batch = max_batch
         self.slack_margin_ms = slack_margin_ms
+        self.tracer = tracer
+        self._emit = None if tracer is None else tracer.emit
 
     def _fits(self, batch: list[Request], now_ms: float,
               est_ms: float) -> bool:
@@ -55,4 +63,10 @@ class MicroBatcher:
             if not self._fits(batch + [candidate], now_ms, est):
                 break
             batch.append(queue.pop())
+        if self._emit is not None:
+            # member rids and the batched estimate ride the engine's
+            # matching "forward" span; duplicating them here costs a list
+            # build plus an estimate per batch on the hot path
+            self._emit("batch", "batch", now_ms, 0.0, None,
+                       {"size": len(batch)})
         return batch

@@ -52,15 +52,32 @@ class ServerConfig:
 
 
 class Engine:
-    """Runs one trace through the queue/batcher/ladder pipeline."""
+    """Runs one trace through the queue/batcher/ladder pipeline.
+
+    ``tracer`` and ``drift`` are optional observability hooks
+    (:class:`repro.obs.Tracer` / :class:`repro.obs.DriftMonitor`, or
+    anything duck-compatible). The tracer receives one span per request
+    life-cycle step over the virtual clock (``enqueue`` from the queue,
+    ``batch`` from the batcher, ``admit``/``drop``/``forward``/``respond``
+    from the engine); the drift monitor is fed every executed batch's
+    predicted vs. observed service time, and any drift event it raises is
+    traced as a ``drift`` span. With both left ``None`` the hot path is
+    identical to the untraced engine.
+    """
 
     def __init__(self, ladder: TRNLadder, config: ServerConfig,
-                 metrics: ServerMetrics):
+                 metrics: ServerMetrics, tracer=None, drift=None):
         self.ladder = ladder
         self.config = config
         self.metrics = metrics
-        self.queue = EDFQueue(config.queue_capacity)
-        self.batcher = MicroBatcher(config.max_batch, config.batch_slack_ms)
+        self.tracer = tracer
+        # bound-method cache for the per-request spans; rare spans (ladder
+        # transitions, drift events) go through self.tracer directly
+        self._emit = None if tracer is None else tracer.emit
+        self.drift = drift
+        self.queue = EDFQueue(config.queue_capacity, tracer=tracer)
+        self.batcher = MicroBatcher(config.max_batch, config.batch_slack_ms,
+                                    tracer=tracer)
         self.controller = (HysteresisController(
             config.deadline_ms, window=config.window,
             min_observations=config.min_observations,
@@ -95,15 +112,20 @@ class Engine:
                 start = max(now_ms, req.arrival_ms)
                 if start + self._admission_estimate_ms() > req.abs_deadline_ms:
                     reason = "unmeetable-deadline"
-            if reason is None and not self.queue.push(req):
+            if reason is None and not self.queue.push(req, now_ms=now_ms):
                 reason = "queue-full"
             if reason is None:
                 self.metrics.record_admission()
+                if self._emit is not None:
+                    self._emit("admit", "serve", now_ms, 0.0, req.rid, None)
             else:
                 responses[req.rid] = Response(
                     req.rid, REJECTED, req.arrival_ms, req.abs_deadline_ms,
                     reject_reason=reason)
                 self.metrics.record_rejection()
+                if self._emit is not None:
+                    self._emit("drop", "serve", now_ms, 0.0,
+                               req.rid, {"reason": reason})
 
     # -- ladder control ------------------------------------------------------
     def _recent_rate_per_ms(self) -> float | None:
@@ -167,6 +189,7 @@ class Engine:
             self.metrics.record_transition(now_ms, "degrade", frm,
                                            self.ladder.current.name)
             self.controller.notify_transition()
+            self._trace_transition("degrade", now_ms, frm)
         elif (decision == "upgrade" and self.ladder.can_upgrade
                 and self._upgrade_is_safe()):
             frm = self.ladder.current.name
@@ -174,6 +197,13 @@ class Engine:
             self.metrics.record_transition(now_ms, "upgrade", frm,
                                            self.ladder.current.name)
             self.controller.notify_transition()
+            self._trace_transition("upgrade", now_ms, frm)
+
+    def _trace_transition(self, direction: str, now_ms: float,
+                          frm: str) -> None:
+        if self.tracer is not None:
+            self.tracer.instant(direction, "ladder", now_ms, frm=frm,
+                                to=self.ladder.current.name)
 
     # -- the event loop ------------------------------------------------------
     def run(self, trace: list[Request]) -> list[Response]:
@@ -190,12 +220,24 @@ class Engine:
                 continue
             rung = self.ladder.current
             batch = self.batcher.form(self.queue, now, rung)
+            predicted_ms = rung.estimate_ms(len(batch))
             service_ms = rung.sample_service_ms(len(batch))
             finish = now + service_ms
             outputs = None
             if self.config.execute and all(r.x is not None for r in batch):
                 outputs = rung.forward([r.x for r in batch])
             self.metrics.record_batch(len(batch))
+            if self._emit is not None:
+                # a tuple of ints (unlike a list) leaves the span record
+                # GC-untrackable, keeping collector sweeps off the buffer
+                self._emit("forward", "serve", now, service_ms, None,
+                           {"rung": rung.name, "size": len(batch),
+                            "rids": tuple(r.rid for r in batch)})
+            # one (prediction, observation) pair per executed batch: every
+            # member shares the batch's estimate and measured time, so
+            # feeding it per member would fill the drift window with
+            # duplicates of the same evidence
+            self._observe_drift(predicted_ms, service_ms, finish, rung.name)
             for i, req in enumerate(batch):
                 resp = Response(
                     req.rid, COMPLETED, req.arrival_ms, req.abs_deadline_ms,
@@ -204,6 +246,29 @@ class Engine:
                     output=None if outputs is None else outputs[i])
                 responses[req.rid] = resp
                 self.metrics.record_response(resp)
+                if self._emit is not None:
+                    self._emit(
+                        "respond", "serve", finish, 0.0, req.rid,
+                        {"latency_ms": resp.latency_ms,
+                         "met": bool(resp.deadline_met)})
                 self._apply_policy(resp.latency_ms, finish)
             now = finish
         return [responses[r.rid] for r in trace]
+
+    def _observe_drift(self, predicted_ms: float, observed_ms: float,
+                       time_ms: float, rung: str) -> None:
+        """Feed one batch's predicted vs. observed service time.
+
+        The prediction is the same noise-free estimate admission and batch
+        planning trusted (the deployment artifact's latency model at the
+        executed batch size) — exactly the quantity whose drift invalidates
+        those decisions.
+        """
+        if self.drift is None:
+            return
+        event = self.drift.observe(predicted_ms, observed_ms,
+                                   time_ms=time_ms, rung=rung)
+        if event is not None and self.tracer is not None:
+            self.tracer.instant("drift", "drift", time_ms,
+                                rel_error=event.rel_error,
+                                bias=event.bias, rung=rung)

@@ -10,6 +10,7 @@ block the CLI prints.
 
 from __future__ import annotations
 
+import copy
 import math
 from dataclasses import dataclass, field
 
@@ -69,7 +70,14 @@ class LatencyHistogram:
         return self.total_ms / self.count if self.count else float("nan")
 
     def quantile(self, q: float) -> float:
-        """Approximate q-quantile (q in [0, 1]) in milliseconds."""
+        """Approximate q-quantile (q in [0, 1]) in milliseconds.
+
+        The under/overflow bins have no geometric midpoint (their inner
+        edge is the only boundary known), so they clamp to ``lo_ms`` and
+        ``max_ms`` respectively — further bounded by the observed
+        min/max, which keeps the estimate sane when every sample falls
+        outside the binned range.
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile {q} outside [0, 1]")
         if self.count == 0:
@@ -79,9 +87,9 @@ class LatencyHistogram:
         for i, c in enumerate(self.counts):
             cum += c
             if cum > rank:
-                if i == 0:
-                    return self.lo_ms
-                if i == self.n_bins + 1:
+                if i == 0:                      # underflow: all < lo_ms
+                    return min(self.lo_ms, self.max_ms)
+                if i == self.n_bins + 1:        # overflow: clamp to max
                     return self.max_ms
                 lo = self.lo_ms * self._ratio ** (i - 1)
                 return min(max(lo * math.sqrt(self._ratio), self.min_ms),
@@ -176,8 +184,13 @@ class ServerMetrics:
         return self.batch_occupancy_sum / batches if batches else float("nan")
 
     def snapshot(self) -> dict:
-        """The whole metrics surface as one JSON-able dict."""
-        return {
+        """The whole metrics surface as one JSON-able dict.
+
+        The snapshot owns every container it returns (deep copy): callers
+        may mutate it freely without corrupting the live metrics behind
+        the next :meth:`report`.
+        """
+        return copy.deepcopy({
             "deadline_ms": self.deadline_ms,
             "counters": {n: c.value for n, c in self.counters.items()},
             "miss_rate": self.miss_rate,
@@ -188,7 +201,7 @@ class ServerMetrics:
             "per_rung": dict(self.per_rung),
             "transitions": [(e.time_ms, e.direction, e.from_rung, e.to_rung)
                             for e in self.events],
-        }
+        })
 
     def report(self) -> str:
         """Human-readable metrics block (what ``repro serve`` prints)."""

@@ -18,12 +18,20 @@ __all__ = ["EDFQueue"]
 
 
 class EDFQueue:
-    """Bounded priority queue ordered by absolute deadline, then arrival."""
+    """Bounded priority queue ordered by absolute deadline, then arrival.
 
-    def __init__(self, capacity: int = 128):
+    ``tracer`` (any object with an ``emit`` method, e.g.
+    :class:`repro.obs.Tracer`) receives one ``enqueue`` span per accepted
+    request, stamped with the queue depth after insertion.
+    """
+
+    def __init__(self, capacity: int = 128, tracer=None):
         if capacity < 1:
             raise ValueError("queue capacity must be >= 1")
         self.capacity = capacity
+        self.tracer = tracer
+        # bound-method cache: push() runs once per admitted request
+        self._emit = None if tracer is None else tracer.emit
         self._heap: list[tuple[float, int, Request]] = []
         self._seq = 0
 
@@ -34,13 +42,22 @@ class EDFQueue:
     def full(self) -> bool:
         return len(self._heap) >= self.capacity
 
-    def push(self, request: Request) -> bool:
-        """Enqueue; returns False (request dropped) when the queue is full."""
+    def push(self, request: Request, now_ms: float | None = None) -> bool:
+        """Enqueue; returns False (request dropped) when the queue is full.
+
+        ``now_ms`` stamps the enqueue span (defaults to the request's
+        arrival time, which is correct whenever admission is immediate).
+        """
         if self.full:
             return False
         heapq.heappush(self._heap,
                        (request.abs_deadline_ms, self._seq, request))
         self._seq += 1
+        if self._emit is not None:
+            self._emit(
+                "enqueue", "queue",
+                request.arrival_ms if now_ms is None else now_ms,
+                0.0, request.rid, {"depth": len(self._heap)})
         return True
 
     def peek(self) -> Request:

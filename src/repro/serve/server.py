@@ -51,12 +51,23 @@ class ServingResult:
 
 
 class Server:
-    """Deadline-aware inference server over a TRN ladder."""
+    """Deadline-aware inference server over a TRN ladder.
+
+    ``tracer`` and ``drift`` attach observability without touching the
+    serving logic: pass a :class:`repro.obs.Tracer` to record request
+    spans and a :class:`repro.obs.DriftMonitor` to watch predicted vs.
+    observed service times (see :mod:`repro.obs`). Both are shared across
+    :meth:`run_trace` calls — clear them between runs if per-run traces
+    are wanted.
+    """
 
     def __init__(self, ladder: TRNLadder,
-                 config: ServerConfig | None = None):
+                 config: ServerConfig | None = None,
+                 tracer=None, drift=None):
         self.ladder = ladder
         self.config = config or ServerConfig()
+        self.tracer = tracer
+        self.drift = drift
 
     def run_trace(self, trace: list[Request],
                   **overrides) -> ServingResult:
@@ -70,7 +81,8 @@ class Server:
             else self.config
         self.ladder.reset(0)
         metrics = ServerMetrics(config.deadline_ms)
-        engine = Engine(self.ladder, config, metrics)
+        engine = Engine(self.ladder, config, metrics,
+                        tracer=self.tracer, drift=self.drift)
         responses = engine.run(trace)
         return ServingResult(responses, metrics,
                              self.ladder.current.name, config)

@@ -1,0 +1,495 @@
+"""Tests for the observability stack (repro.obs).
+
+Covers the forward hooks on Network, the hook-driven LayerProfiler and its
+agreement with the device's own profiling chain, request tracing through a
+served trace (JSONL determinism, Chrome-trace schema, span accounting),
+the estimator-drift monitor, the unified metrics registry, and the
+histogram/snapshot regressions in repro.serve.metrics.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from conftest import make_tiny_net
+from repro.device import profile_network, xavier
+from repro.estimators import ProfilerEstimator
+from repro.obs import (
+    DriftMonitor,
+    LayerProfiler,
+    MetricsRegistry,
+    Span,
+    TraceBuffer,
+    Tracer,
+    chrome_trace,
+    profile_forward,
+    to_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.serve import (
+    LatencyHistogram,
+    Server,
+    ServerConfig,
+    ServerMetrics,
+    TRNLadder,
+    poisson_trace,
+)
+from repro.trim import enumerate_blockwise, removed_node_set
+from repro.zoo import build_network
+
+
+@pytest.fixture(scope="module")
+def device():
+    from repro.device.spec import DeviceSpec
+
+    return DeviceSpec(
+        name="test-device", peak_gflops=10.0, bandwidth_gbps=1.0,
+        launch_overhead_us=5.0, occupancy_flops=1e4, noise_std=0.005,
+        straggler_prob=0.0, event_overhead_us=2.0)
+
+
+@pytest.fixture(scope="module")
+def ladder(device):
+    return TRNLadder.from_base(make_tiny_net(), device, num_classes=5)
+
+
+# ---------------------------------------------------------------------------
+# forward hooks on Network
+# ---------------------------------------------------------------------------
+class TestForwardHooks:
+    def test_pre_and_post_fire_per_node_in_execution_order(self, tiny_net):
+        events = []
+        tiny_net.register_forward_pre_hook(
+            lambda net, node, ins: events.append(("pre", node.name)))
+        tiny_net.register_forward_hook(
+            lambda net, node, ins, out: events.append(("post", node.name)))
+        x = np.zeros(tiny_net.input_shape, dtype=np.float32)
+        tiny_net.forward(x)
+        names = [n for _, n in events[::2]]
+        assert names == [n for _, n in events[1::2]]  # pre/post pair up
+        assert all(kind == "pre" for kind, _ in events[::2])
+        assert all(kind == "post" for kind, _ in events[1::2])
+        assert names == list(tiny_net.nodes)          # topological order
+        assert names[-1] == tiny_net.output_name
+
+    def test_post_hook_sees_the_node_output(self, tiny_net):
+        seen = {}
+        tiny_net.register_forward_hook(
+            lambda net, node, ins, out: seen.setdefault(node.name, out))
+        x = np.zeros(tiny_net.input_shape, dtype=np.float32)
+        y = tiny_net.forward(x)
+        # the hook sees the raw node output (with the internal batch axis)
+        np.testing.assert_array_equal(
+            np.squeeze(seen[tiny_net.output_name]), np.squeeze(y))
+
+    def test_remove_hook_detaches(self, tiny_net):
+        calls = []
+        handle = tiny_net.register_forward_hook(
+            lambda net, node, ins, out: calls.append(node.name))
+        x = np.zeros(tiny_net.input_shape, dtype=np.float32)
+        tiny_net.forward(x)
+        n = len(calls)
+        assert n > 0
+        tiny_net.remove_hook(handle)
+        assert not tiny_net.has_hooks
+        tiny_net.forward(x)
+        assert len(calls) == n
+
+    def test_copy_and_subgraph_start_with_fresh_hooks(self, tiny_net):
+        tiny_net.register_forward_hook(lambda *a: None)
+        clone = tiny_net.copy()
+        sub = tiny_net.subgraph("b2_add")
+        assert tiny_net.has_hooks
+        assert not clone.has_hooks
+        assert not sub.has_hooks
+
+
+# ---------------------------------------------------------------------------
+# LayerProfiler
+# ---------------------------------------------------------------------------
+class TestLayerProfiler:
+    def test_requires_built_network(self, device):
+        from repro.nn import Conv2D, Network
+
+        net = Network("unbuilt", (8, 8, 3))
+        net.add("c", Conv2D(4, 3))
+        with pytest.raises(RuntimeError, match="built"):
+            LayerProfiler(net, device)
+
+    def test_table_requires_recorded_runs(self, tiny_net, device):
+        prof = LayerProfiler(tiny_net, device, warmup=5)
+        with pytest.raises(RuntimeError, match="warm-up"):
+            prof.table()
+
+    def test_recorded_total_close_to_end_to_end(self, tiny_net, device):
+        """Table sum ≈ e2e forward time, inflated only by event overhead."""
+        table = profile_forward(tiny_net, device, runs=40, warmup=200,
+                                rng=0)
+        overhead = device.event_overhead_ms() * len(table.records)
+        assert table.recorded_total_ms > table.end_to_end_ms
+        gap = table.recorded_total_ms - table.end_to_end_ms
+        assert gap == pytest.approx(overhead, rel=0.05)
+
+    def test_warmup_runs_are_discarded(self, tiny_net, device):
+        x = np.zeros(tiny_net.input_shape, dtype=np.float32)
+        with LayerProfiler(tiny_net, device, rng=0, warmup=3) as prof:
+            for _ in range(5):
+                tiny_net.forward(x)
+        assert prof.runs == 5
+        assert prof.recorded_runs == 2
+
+    def test_warm_up_jump_matches_real_warmup_runs(self, tiny_net, device):
+        """Skipping the ramp via warm_up() ≡ paying for the forwards."""
+        x = np.zeros(tiny_net.input_shape, dtype=np.float32)
+        with LayerProfiler(tiny_net, device, rng=0, warmup=200) as prof:
+            prof.warm_up()
+            for _ in range(20):
+                tiny_net.forward(x)
+        jumped = profile_forward(tiny_net, device, runs=20, warmup=200,
+                                 rng=0)
+        assert prof.table().end_to_end_ms == \
+            pytest.approx(jumped.end_to_end_ms, rel=0.02)
+
+    def test_detach_stops_accumulation(self, tiny_net, device):
+        x = np.zeros(tiny_net.input_shape, dtype=np.float32)
+        prof = LayerProfiler(tiny_net, device, rng=0, warmup=0).attach()
+        tiny_net.forward(x)
+        prof.detach()
+        tiny_net.forward(x)
+        assert prof.recorded_runs == 1
+        assert not tiny_net.has_hooks
+
+    def test_fixed_seed_is_deterministic(self, tiny_net, device):
+        t1 = profile_forward(tiny_net, device, runs=10, warmup=50, rng=7)
+        t2 = profile_forward(tiny_net, device, runs=10, warmup=50, rng=7)
+        assert t1 == t2
+
+    def test_snapshot_reports_progress(self, tiny_net, device):
+        table = None
+        prof = LayerProfiler(tiny_net, device, rng=0, warmup=0)
+        snap = prof.snapshot()
+        assert snap["recorded_runs"] == 0 and "end_to_end_ms" not in snap
+        x = np.zeros(tiny_net.input_shape, dtype=np.float32)
+        with prof:
+            tiny_net.forward(x)
+        snap = prof.snapshot()
+        assert snap["recorded_runs"] == 1
+        assert snap["recorded_total_ms"] > snap["end_to_end_ms"] > 0
+
+    @pytest.mark.parametrize("name", ["mobilenet_v1_0.25", "resnet50",
+                                      "densenet121"])
+    def test_obs_table_matches_device_estimator_on_zoo(self, name):
+        """Acceptance: ratio-form estimate from the hooked table lands
+        within 5% of the estimate from repro.device's own profiler."""
+        spec = xavier()
+        net = build_network(name).build(0)
+        obs_table = profile_forward(net, spec, runs=40, rng=0)
+        dev_table = profile_network(net, spec)
+        cuts = enumerate_blockwise(net)
+        for cut in (cuts[1], cuts[len(cuts) // 2], cuts[-1]):
+            removed = removed_node_set(net, cut.cut_node)
+            est_obs = ProfilerEstimator(net, obs_table).estimate(removed)
+            est_dev = ProfilerEstimator(net, dev_table).estimate(removed)
+            assert est_obs == pytest.approx(est_dev, rel=0.05), cut.cut_node
+
+    def test_describe_mentions_overhead_artefact(self, tiny_net, device):
+        table = profile_forward(tiny_net, device, runs=10, warmup=50, rng=0)
+        text = table.describe(top=3)
+        assert tiny_net.name in text
+        assert "recorded total" in text and "end-to-end" in text
+        # header + column row + 3 kernels + footer
+        assert len(text.splitlines()) == 6
+
+
+# ---------------------------------------------------------------------------
+# tracing primitives
+# ---------------------------------------------------------------------------
+class TestTracer:
+    def test_buffer_bounded_with_dropped_count(self):
+        buf = TraceBuffer(capacity=3)
+        for i in range(5):
+            buf.append(Span("e", "t", float(i)))
+        assert len(buf) == 3
+        assert buf.dropped == 2
+        assert [s.ts_ms for s in buf] == [2.0, 3.0, 4.0]
+
+    def test_buffer_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            TraceBuffer(capacity=0)
+
+    def test_counts_survive_eviction(self):
+        tracer = Tracer(capacity=2)
+        for i in range(5):
+            tracer.instant("enqueue", "queue", float(i))
+        assert tracer.count("enqueue") == 5
+        assert len(tracer.spans("enqueue")) == 2
+        snap = tracer.snapshot()
+        assert snap == {"buffered": 2, "dropped": 3,
+                        "by_name": {"enqueue": 5}}
+
+    def test_clear_resets_everything(self):
+        tracer = Tracer()
+        tracer.span("forward", "serve", 1.0, 0.5, rid=0)
+        tracer.clear()
+        assert tracer.spans() == [] and tracer.count("forward") == 0
+
+    def test_jsonl_round_trips(self):
+        tracer = Tracer()
+        tracer.instant("admit", "serve", 1.5, rid=3)
+        tracer.span("forward", "serve", 1.5, 0.25, size=2)
+        lines = to_jsonl(tracer).splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first == {"name": "admit", "cat": "serve", "ts_ms": 1.5,
+                         "dur_ms": 0.0, "rid": 3}
+        assert json.loads(lines[1])["args"] == {"size": 2}
+
+
+class TestChromeTrace:
+    def test_schema_validates(self):
+        tracer = Tracer()
+        tracer.instant("enqueue", "queue", 0.5, rid=0)
+        tracer.span("forward", "serve", 1.0, 0.3, rung="r0")
+        doc = chrome_trace(tracer)
+        json.dumps(doc)                       # serializable
+        events = doc["traceEvents"]
+        assert all({"name", "ph", "pid", "tid"} <= set(e) for e in events)
+        phases = {e["ph"] for e in events}
+        assert phases <= {"X", "i", "M"}
+        complete = [e for e in events if e["ph"] == "X"]
+        assert complete[0]["dur"] == pytest.approx(300.0)   # 0.3 ms in µs
+        instants = [e for e in events if e["ph"] == "i"]
+        assert instants[0]["ts"] == pytest.approx(500.0)
+
+    def test_categories_become_thread_tracks(self):
+        tracer = Tracer()
+        tracer.instant("enqueue", "queue", 0.0)
+        tracer.instant("respond", "serve", 1.0)
+        doc = chrome_trace(tracer)
+        names = {e["args"]["name"] for e in doc["traceEvents"]
+                 if e["name"] == "thread_name"}
+        assert names == {"queue", "serve"}
+
+
+# ---------------------------------------------------------------------------
+# tracing + drift through a served trace
+# ---------------------------------------------------------------------------
+class TestTracedServing:
+    def _run(self, ladder, seed=0, requests=150, capacity=65536):
+        rate = 1.3e3 / ladder.rungs[0].estimate_ms(1)
+        deadline = 1.2 * ladder.rungs[0].estimate_ms(1)
+        trace = poisson_trace(requests, rate, deadline, rng=seed)
+        tracer = Tracer(capacity=capacity)
+        drift = DriftMonitor()
+        server = Server(ladder, ServerConfig(deadline_ms=deadline,
+                                             execute=False, seed=seed),
+                        tracer=tracer, drift=drift)
+        result = server.run_trace(trace)
+        return result, tracer, drift
+
+    def test_span_accounting_matches_metrics(self, ladder):
+        result, tracer, _ = self._run(ladder)
+        c = result.metrics.counters
+        assert tracer.count("enqueue") == c["admitted"].value
+        assert tracer.count("admit") == c["admitted"].value
+        assert tracer.count("respond") == c["admitted"].value \
+            == c["completed"].value
+        assert tracer.count("drop") == c["rejected"].value
+        assert tracer.count("batch") == tracer.count("forward") \
+            == c["batches"].value
+        transitions = c["degrade_events"].value + c["upgrade_events"].value
+        assert tracer.count("degrade") + tracer.count("upgrade") \
+            == transitions
+
+    def test_drops_are_traced_with_reason(self, ladder):
+        # rate far above capacity: admission control must reject some
+        full = ladder.rungs[0].estimate_ms(1)
+        trace = poisson_trace(150, 40e3 / full, 0.9 * full, rng=0)
+        tracer = Tracer()
+        server = Server(ladder, ServerConfig(deadline_ms=0.9 * full,
+                                             execute=False, seed=0),
+                        tracer=tracer)
+        result = server.run_trace(trace)
+        rejected = result.metrics.counters["rejected"].value
+        assert rejected > 0
+        drops = tracer.spans("drop")
+        assert len(drops) == rejected
+        assert all(s.args["reason"] in ("unmeetable-deadline", "queue-full")
+                   for s in drops)
+
+    def test_same_seed_runs_export_identical_jsonl(self, ladder, tmp_path):
+        _, t1, _ = self._run(ladder, seed=3)
+        _, t2, _ = self._run(ladder, seed=3)
+        assert to_jsonl(t1) == to_jsonl(t2)
+        p1, p2 = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        assert write_jsonl(t1, p1) == write_jsonl(t2, p2) > 0
+        assert p1.read_bytes() == p2.read_bytes()
+
+    def test_chrome_export_of_served_trace(self, ladder, tmp_path):
+        _, tracer, _ = self._run(ladder)
+        path = tmp_path / "serve.trace.json"
+        n = write_chrome_trace(tracer, path)
+        assert n == len(tracer.spans())
+        doc = json.loads(path.read_text())
+        # one event per span + process metadata + one per category track
+        cats = {s.cat for s in tracer.spans()}
+        assert len(doc["traceEvents"]) == n + 1 + len(cats)
+
+    def test_unbiased_estimator_stays_silent(self, ladder):
+        _, _, drift = self._run(ladder)
+        assert drift.observations > 0
+        assert not drift.drifting
+        assert drift.events == []
+
+
+# ---------------------------------------------------------------------------
+# drift monitor
+# ---------------------------------------------------------------------------
+class TestDriftMonitor:
+    def test_fires_on_biased_estimator(self):
+        mon = DriftMonitor(threshold=0.25, window=16, min_observations=8)
+        rng = np.random.default_rng(0)
+        event = None
+        for i in range(20):
+            obs = 1.5 * (1 + rng.normal(0, 0.01))   # 50% under-estimate
+            event = event or mon.observe(1.0, obs, time_ms=float(i),
+                                         rung="r0")
+        assert event is not None
+        assert event.rel_error > 0.25
+        assert event.bias == pytest.approx(0.5, abs=0.05)
+        assert event.rung == "r0"
+        assert mon.drifting
+
+    def test_silent_on_unbiased_noise(self):
+        mon = DriftMonitor(threshold=0.25, window=16, min_observations=8)
+        rng = np.random.default_rng(0)
+        for i in range(200):
+            assert mon.observe(1.0, 1.0 + rng.normal(0, 0.02)) is None
+        assert not mon.drifting
+        assert mon.rolling_error < 0.05
+
+    def test_cooldown_spaces_events(self):
+        mon = DriftMonitor(threshold=0.1, window=8, min_observations=4,
+                           cooldown=8)
+        for i in range(32):
+            mon.observe(1.0, 2.0, time_ms=float(i))
+        assert len(mon.events) == 4     # every `cooldown` observations
+
+    def test_needs_min_observations(self):
+        mon = DriftMonitor(threshold=0.1, window=32, min_observations=16)
+        for _ in range(15):
+            assert mon.observe(1.0, 3.0) is None
+        assert mon.observe(1.0, 3.0) is not None
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            DriftMonitor(threshold=0.0)
+        with pytest.raises(ValueError):
+            DriftMonitor(window=0)
+        with pytest.raises(ValueError):
+            DriftMonitor().observe(0.0, 1.0)
+
+    def test_snapshot_and_report(self):
+        mon = DriftMonitor(threshold=0.1, window=4, min_observations=2)
+        for i in range(4):
+            mon.observe(1.0, 2.0, time_ms=float(i), rung="cut3")
+        snap = mon.snapshot()
+        assert snap["drifting"] and snap["events"]
+        assert "DRIFTING" in mon.report() and "cut3" in mon.report()
+
+
+# ---------------------------------------------------------------------------
+# metrics registry
+# ---------------------------------------------------------------------------
+class TestMetricsRegistry:
+    def test_get_or_create_is_idempotent(self):
+        reg = MetricsRegistry()
+        reg.counter("a").increment(2)
+        reg.counter("a").increment()
+        reg.gauge("g").set(4.5)
+        reg.histogram("h").observe(1.0)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"a": 3}
+        assert snap["gauges"] == {"g": 4.5}
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_mount_requires_snapshot(self):
+        reg = MetricsRegistry()
+        with pytest.raises(TypeError, match="snapshot"):
+            reg.mount("bad", object())
+
+    def test_unified_snapshot_and_report(self, ladder):
+        rate = 1.3e3 / ladder.rungs[0].estimate_ms(1)
+        deadline = 1.2 * ladder.rungs[0].estimate_ms(1)
+        tracer, drift = Tracer(), DriftMonitor()
+        server = Server(ladder, ServerConfig(deadline_ms=deadline,
+                                             execute=False, seed=0),
+                        tracer=tracer, drift=drift)
+        result = server.run_trace(poisson_trace(60, rate, deadline, rng=0))
+        reg = MetricsRegistry()
+        reg.mount("serve", result.metrics)
+        reg.mount("trace", tracer)
+        reg.mount("drift", drift)
+        snap = reg.snapshot()
+        assert snap["serve"]["counters"]["arrived"] == 60
+        assert snap["trace"]["by_name"]["respond"] \
+            == snap["serve"]["counters"]["completed"]
+        assert "rolling_error" in snap["drift"]
+        report = reg.report()
+        for section in ("-- serve --", "-- trace --", "-- drift --"):
+            assert section in report
+
+    def test_registry_snapshot_is_detached(self):
+        reg = MetricsRegistry()
+        reg.mount("m", ServerMetrics(deadline_ms=1.0))
+        snap = reg.snapshot()
+        snap["m"]["counters"]["arrived"] = 999
+        assert reg.snapshot()["m"]["counters"]["arrived"] == 0
+
+
+# ---------------------------------------------------------------------------
+# satellite regressions in repro.serve.metrics
+# ---------------------------------------------------------------------------
+class TestHistogramClamps:
+    def test_all_samples_below_lo_clamp_to_observed_range(self):
+        h = LatencyHistogram(lo_ms=1.0, hi_ms=100.0)
+        for ms in (1e-4, 2e-4, 5e-4):
+            h.observe(ms)
+        for q in (0.0, 0.5, 0.95, 1.0):
+            assert h.quantile(q) <= h.lo_ms
+            assert h.quantile(q) == pytest.approx(h.max_ms)
+
+    def test_overflow_clamps_to_observed_max(self):
+        h = LatencyHistogram(lo_ms=1e-3, hi_ms=1.0)
+        h.observe(0.5)
+        h.observe(123.0)
+        assert h.quantile(1.0) == 123.0
+        assert h.quantile(0.99) <= 123.0
+
+    def test_interior_quantiles_unchanged(self):
+        h = LatencyHistogram()
+        rng = np.random.default_rng(0)
+        samples = rng.lognormal(0.0, 0.5, size=2000)
+        for ms in samples:
+            h.observe(float(ms))
+        assert h.quantile(0.5) == pytest.approx(
+            float(np.quantile(samples, 0.5)), rel=0.15)
+
+
+class TestSnapshotIsolation:
+    def test_mutating_snapshot_leaves_live_metrics_intact(self):
+        m = ServerMetrics(deadline_ms=1.0)
+        m.record_arrival()
+        m.record_transition(1.0, "degrade", "a", "b")
+        snap = m.snapshot()
+        snap["counters"]["arrived"] = 999
+        snap["per_rung"]["ghost"] = 1
+        snap["transitions"].clear()
+        snap["latency"]["p50_ms"] = -1.0
+        fresh = m.snapshot()
+        assert fresh["counters"]["arrived"] == 1
+        assert fresh["per_rung"] == {}
+        assert len(fresh["transitions"]) == 1
+        assert m.counters["arrived"].value == 1
