@@ -1,0 +1,14 @@
+#!/usr/bin/env sh
+# Tier-1 verification: the full test suite under a randomized hash seed.
+#
+# PYTHONHASHSEED=random makes Python's per-process string-hash
+# randomization explicit for the run (it is also the interpreter default,
+# but an exported PYTHONHASHSEED=0 in the environment would silently pin
+# it). Any "deterministic" seed that secretly depends on hash() — the bug
+# class fixed by repro.device.stable_seed — changes between two runs of
+# this script and fails the determinism tests instead of passing by
+# accident.
+set -eu
+
+cd "$(dirname "$0")/.."
+PYTHONHASHSEED=random PYTHONPATH=src exec python -m pytest tests/ -q "$@"

@@ -11,6 +11,7 @@ Usage (after installation, or via ``python -m repro.cli``):
     python -m repro.cli serve --deadline-ms 0.9 --trace poisson
     python -m repro.cli profile --net resnet --cutpoint 3
     python -m repro.cli trace --out serve.jsonl --chrome serve.trace.json
+    python -m repro.cli faults --scenario straggler-storm --compare
 
 (``python -m repro ...`` is an equivalent spelling of every command.)
 
@@ -312,6 +313,67 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_faults(args) -> int:
+    """Replay a chaos scenario against the resilient serving engine.
+
+    Same traffic as ``serve``, but the ladder is wrapped in a named fault
+    scenario (see :data:`repro.faults.SCENARIOS`) and the engine runs with
+    timeouts, retries and circuit breakers. With ``--compare`` the same
+    scenario is also replayed with resilience off, so the deadline-miss
+    rates can be read side by side; ``--no-resilience`` runs only the
+    undefended engine.
+    """
+    from repro.device import xavier
+    from repro.faults import build_scenario
+    from repro.serve import Server, ServerConfig, TRNLadder, poisson_trace
+    from repro.zoo import build_network
+
+    device = xavier()
+    base = build_network(_resolve_net(args.net)).build(0)
+    ladder = TRNLadder.from_base(base, device, num_classes=5,
+                                 max_rungs=args.max_rungs)
+    full_est = ladder.rungs[0].estimate_ms(1)
+    rate = args.rate if args.rate else 1.3e3 / full_est
+    trace = poisson_trace(args.requests, rate, args.deadline_ms,
+                          rng=args.seed)
+    span_ms = trace[-1].arrival_ms if trace else 0.0
+    if args.rung:
+        rungs = tuple(args.rung)
+    elif args.scenario in ("rung-failure", "mixed"):
+        # break the most accurate rung by default: the breaker opens and
+        # traffic visibly shifts down the ladder instead of stalling
+        rungs = (ladder.rungs[0].name,)
+    else:
+        rungs = None
+    scenario = build_scenario(args.scenario, span_ms, seed=args.seed,
+                              rungs=rungs)
+    print(scenario.describe())
+    print(f"\n{args.requests} Poisson requests @ {rate:,.0f} req/s, "
+          f"deadline {args.deadline_ms} ms, seed {args.seed}")
+
+    def replay(resilient: bool):
+        injector = scenario.injector()
+        config = ServerConfig(deadline_ms=args.deadline_ms,
+                              execute=False, seed=args.seed,
+                              resilience=resilient)
+        server = Server(ladder, config, faults=injector)
+        return server.run_trace(trace), injector
+
+    runs = []
+    if not args.no_resilience:
+        runs.append(("resilient", True))
+    if args.no_resilience or args.compare:
+        runs.append(("undefended", False))
+    for label, resilient in runs:
+        result, injector = replay(resilient)
+        print(f"\n--- {label} engine "
+              f"(resilience {'on' if resilient else 'off'}) ---")
+        print(result.metrics.report())
+        if args.verbose:
+            print(injector.report())
+    return 0
+
+
 def cmd_figures(args) -> int:
     """List every reproduced figure/claim and its benchmark."""
     from repro.figures import EXPERIMENTS
@@ -383,6 +445,34 @@ def build_parser() -> argparse.ArgumentParser:
                         "(slower; default is timing-only simulation)")
     p.add_argument("--seed", type=int, default=0)
 
+    from repro.faults import SCENARIOS
+
+    p = sub.add_parser("faults",
+                       help="chaos replay against the resilient engine")
+    p.add_argument("--scenario", default="straggler-storm",
+                   choices=sorted(SCENARIOS),
+                   help="built-in chaos scenario to replay")
+    p.add_argument("--net", default="mobilenet_v1_0.5",
+                   help="zoo network (exact name, prefix or substring)")
+    p.add_argument("--deadline-ms", type=float, default=0.9,
+                   dest="deadline_ms")
+    p.add_argument("--requests", type=int, default=400)
+    p.add_argument("--rate", type=float, default=None,
+                   help="offered load in requests/s (default: 1.3x the "
+                        "full TRN's single-request capacity)")
+    p.add_argument("--max-rungs", type=int, default=6, dest="max_rungs")
+    p.add_argument("--rung", action="append", default=None,
+                   help="rung name targeted by rung-specific faults "
+                        "(repeatable; default: the most accurate rung)")
+    p.add_argument("--compare", action="store_true",
+                   help="also replay with resilience off, side by side")
+    p.add_argument("--no-resilience", action="store_true",
+                   dest="no_resilience",
+                   help="replay only the undefended engine")
+    p.add_argument("--verbose", action="store_true",
+                   help="print the injector's fault event log")
+    p.add_argument("--seed", type=int, default=0)
+
     p = sub.add_parser("profile",
                        help="per-layer latency table via forward hooks")
     p.add_argument("--net", default="mobilenet_v1_0.5",
@@ -433,6 +523,7 @@ _COMMANDS = {
     "serve": cmd_serve,
     "profile": cmd_profile,
     "trace": cmd_trace,
+    "faults": cmd_faults,
 }
 
 

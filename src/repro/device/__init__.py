@@ -17,11 +17,12 @@ from .runtime import (
     measure_latency,
     sample_runs,
 )
-from .spec import DeviceSpec
+from .spec import DeviceSpec, stable_seed
 from .xavier import xavier
 
 __all__ = [
     "DeviceSpec",
+    "stable_seed",
     "xavier",
     "nano",
     "agx_boosted",

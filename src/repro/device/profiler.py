@@ -20,7 +20,7 @@ from repro.nn.graph import Network
 
 from .latency import network_latency
 from .runtime import measure_latency
-from .spec import DeviceSpec
+from .spec import DeviceSpec, stable_seed
 
 __all__ = ["LayerRecord", "LatencyTable", "profile_network"]
 
@@ -88,7 +88,7 @@ def profile_network(net: Network, spec: DeviceSpec,
     CUDA-event overhead, averaged over ``profile_runs`` noisy runs.
     """
     if rng is None:
-        rng = abs(hash(("profile", net.name, spec.name))) % (2 ** 32)
+        rng = stable_seed("profile", net.name, spec.name)
     if isinstance(rng, (int, np.integer)):
         rng = np.random.default_rng(int(rng))
     breakdown = network_latency(net, spec, fused=fused, precision=precision)

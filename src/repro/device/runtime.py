@@ -17,7 +17,7 @@ import numpy as np
 from repro.nn.graph import Network
 
 from .latency import LatencyBreakdown, network_latency
-from .spec import DeviceSpec
+from .spec import DeviceSpec, stable_seed
 
 __all__ = ["MeasurementResult", "sample_runs", "measure_latency",
            "ServiceTimeSampler"]
@@ -72,7 +72,7 @@ def measure_latency(net: Network, spec: DeviceSpec,
     networks see independent noise.
     """
     if rng is None:
-        rng = abs(hash((net.name, spec.name))) % (2 ** 32)
+        rng = stable_seed(net.name, spec.name)
     if isinstance(rng, (int, np.integer)):
         rng = np.random.default_rng(int(rng))
     if breakdown is None:

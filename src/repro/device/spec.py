@@ -10,9 +10,23 @@ to cope with.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 
-__all__ = ["DeviceSpec"]
+__all__ = ["DeviceSpec", "stable_seed"]
+
+
+def stable_seed(*parts) -> int:
+    """A 32-bit RNG seed derived *stably* from the given parts.
+
+    ``hash()`` on strings is randomized per interpreter process
+    (PYTHONHASHSEED), so hash-derived "reproducible" default seeds silently
+    differ across runs. This helper is the one place default seeds come
+    from: a CRC-32 over the stringified parts, identical in every process,
+    on every platform, under every hash seed.
+    """
+    joined = "\x1f".join(str(p) for p in parts)
+    return zlib.crc32(joined.encode("utf-8"))
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,182 @@
+"""Serving resilience primitives: circuit breakers and health probes.
+
+The serving engine keeps one :class:`CircuitBreaker` per TRN rung. A rung
+that keeps timing out or hard-failing is taken out of rotation (*open*)
+instead of burning deadline budget on every batch; after a virtual-time
+cooldown the breaker lets exactly one probe batch through (*half-open*) —
+success closes it, another failure re-opens it. Every transition is a
+structured :class:`BreakerEvent` (the resilience counterpart of
+:class:`repro.obs.DriftEvent`) and, when a tracer is attached to the
+engine, a ``breaker`` trace span.
+
+Nothing here imports :mod:`repro.serve`; the engine imports *us*, and the
+classes work on anything rung-shaped (``estimate_ms`` /
+``sample_service_ms``), so they are unit-testable in isolation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["RungFailureError", "BreakerEvent", "CircuitBreaker",
+           "ProbeResult", "HealthProbe"]
+
+#: Circuit breaker states.
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class RungFailureError(RuntimeError):
+    """A TRN rung hard-failed to execute (fault-injected or real)."""
+
+    def __init__(self, rung_name: str):
+        super().__init__(f"rung {rung_name!r} failed to execute")
+        self.rung_name = rung_name
+
+
+@dataclass(frozen=True)
+class BreakerEvent:
+    """One circuit-breaker state transition, in virtual time."""
+
+    time_ms: float
+    rung: str
+    from_state: str
+    to_state: str
+    reason: str                 # "timeout", "failure", "probe-ok", "cooldown"
+
+    def as_dict(self) -> dict:
+        return {"time_ms": self.time_ms, "rung": self.rung,
+                "from_state": self.from_state, "to_state": self.to_state,
+                "reason": self.reason}
+
+
+class CircuitBreaker:
+    """Per-rung failure accounting with open/half-open/closed states.
+
+    Parameters
+    ----------
+    rung:
+        Name of the rung this breaker guards (stamped into events).
+    threshold:
+        Consecutive failures (timeouts or hard failures) that open the
+        breaker from the closed state. A half-open probe re-opens on its
+        first failure.
+    cooldown_ms:
+        Virtual time the breaker stays open before :meth:`allow` lets a
+        probe through (half-open).
+    listener:
+        Optional callable receiving each :class:`BreakerEvent` as it
+        happens (the engine uses this to trace and count transitions).
+    """
+
+    def __init__(self, rung: str, threshold: int = 3,
+                 cooldown_ms: float = 25.0, listener=None):
+        if threshold < 1:
+            raise ValueError("breaker threshold must be >= 1")
+        if cooldown_ms <= 0:
+            raise ValueError("breaker cooldown must be positive")
+        self.rung = rung
+        self.threshold = threshold
+        self.cooldown_ms = cooldown_ms
+        self.listener = listener
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self.opened_at_ms = -math.inf
+        self.events: list[BreakerEvent] = []
+
+    def _transition(self, now_ms: float, to_state: str, reason: str) -> None:
+        event = BreakerEvent(now_ms, self.rung, self.state, to_state, reason)
+        self.state = to_state
+        self.events.append(event)
+        if self.listener is not None:
+            self.listener(event)
+
+    # -- the state machine ---------------------------------------------------
+    def allow(self, now_ms: float) -> bool:
+        """May the engine schedule a batch on this rung at ``now_ms``?
+
+        Closed: always. Open: only once the cooldown has elapsed, which
+        transitions to half-open — the caller's next batch *is* the probe.
+        Half-open: the probe slot is taken, wait for its verdict.
+        """
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            if now_ms >= self.opened_at_ms + self.cooldown_ms:
+                self._transition(now_ms, HALF_OPEN, "cooldown")
+                return True
+            return False
+        return False                      # half-open: probe in flight
+
+    def record_success(self, now_ms: float) -> None:
+        """The rung served a batch fine; close from any state."""
+        self.consecutive_failures = 0
+        if self.state != CLOSED:
+            self._transition(now_ms, CLOSED, "probe-ok")
+
+    def record_failure(self, now_ms: float, reason: str = "failure") -> None:
+        """A timeout or hard failure on this rung."""
+        self.consecutive_failures += 1
+        if self.state == HALF_OPEN:
+            self.opened_at_ms = now_ms
+            self._transition(now_ms, OPEN, reason)
+        elif self.state == CLOSED \
+                and self.consecutive_failures >= self.threshold:
+            self.opened_at_ms = now_ms
+            self._transition(now_ms, OPEN, reason)
+
+    def snapshot(self) -> dict:
+        return {"rung": self.rung, "state": self.state,
+                "consecutive_failures": self.consecutive_failures,
+                "transitions": [e.as_dict() for e in self.events]}
+
+
+@dataclass(frozen=True)
+class ProbeResult:
+    """Outcome of one health probe against a rung."""
+
+    rung: str
+    ok: bool
+    latency_ms: float           # NaN when the rung hard-failed
+    estimate_ms: float
+    error: str | None = None
+
+    def __str__(self) -> str:
+        if self.error is not None:
+            return f"{self.rung}: FAIL ({self.error})"
+        verdict = "ok" if self.ok else "slow"
+        return (f"{self.rung}: {verdict} "
+                f"({self.latency_ms:.4f} ms vs est {self.estimate_ms:.4f})")
+
+
+class HealthProbe:
+    """Active health checks: one synthetic batch-1 inference per rung.
+
+    A probe samples the rung's measured latency off the serving path and
+    compares it against the noise-free estimate: more than ``slow_factor``
+    over is unhealthy, a :class:`RungFailureError` is dead. Probing
+    consumes one draw from the rung's measurement RNG, so health-check
+    traffic is visible in (and perturbs) the deterministic sample stream —
+    exactly like real probe requests would perturb a real device.
+    """
+
+    def __init__(self, slow_factor: float = 3.0):
+        if slow_factor <= 1.0:
+            raise ValueError("slow_factor must be > 1")
+        self.slow_factor = slow_factor
+
+    def probe(self, rung) -> ProbeResult:
+        estimate = rung.estimate_ms(1)
+        try:
+            latency = rung.sample_service_ms(1)
+        except RungFailureError:
+            return ProbeResult(rung.name, False, float("nan"), estimate,
+                               error="rung-failure")
+        return ProbeResult(rung.name, latency <= self.slow_factor * estimate,
+                           float(latency), estimate)
+
+    def probe_ladder(self, ladder) -> list[ProbeResult]:
+        """Probe every rung of a :class:`repro.serve.TRNLadder`."""
+        return [self.probe(rung) for rung in ladder.rungs]

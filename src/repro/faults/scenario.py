@@ -1,0 +1,136 @@
+"""Named chaos scenarios: reproducible bundles of fault models.
+
+A :class:`ChaosScenario` is what the CLI's ``faults`` subcommand and the
+chaos benchmarks replay: a named list of fault models plus a seed,
+convertible to a fresh :class:`repro.faults.FaultInjector` per run. The
+built-in :data:`SCENARIOS` are parameterised by the expected trace span
+(fault windows scale with the traffic they disturb) and, where a fault
+targets specific rungs, by rung names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .inject import FaultInjector
+from .models import (
+    EstimatorBias,
+    FaultModel,
+    QueueSaturation,
+    RungFailure,
+    StragglerStorm,
+    ThermalThrottle,
+)
+
+__all__ = ["ChaosScenario", "SCENARIOS", "build_scenario"]
+
+
+@dataclass
+class ChaosScenario:
+    """A named, seeded set of faults — one replayable chaos experiment."""
+
+    name: str
+    description: str
+    faults: list[FaultModel] = field(default_factory=list)
+    seed: int = 0
+
+    def injector(self) -> FaultInjector:
+        """A fresh injector for one serving run."""
+        return FaultInjector(self.faults, seed=self.seed)
+
+    def describe(self) -> str:
+        lines = [f"{self.name} (seed {self.seed}): {self.description}"]
+        lines += [f"  - {f.describe()}" for f in self.faults]
+        return "\n".join(lines)
+
+
+def _storm(span_ms: float, seed: int, rungs) -> ChaosScenario:
+    return ChaosScenario(
+        "straggler-storm",
+        "scheduler preemption storm over the middle 60% of the trace: "
+        "35% of inferences take 7-13x their normal time",
+        [StragglerStorm(start_ms=0.2 * span_ms, duration_ms=0.6 * span_ms,
+                        prob=0.35, scale=12.0)],
+        seed)
+
+
+def _thermal(span_ms: float, seed: int, rungs) -> ChaosScenario:
+    return ChaosScenario(
+        "thermal-throttle",
+        "thermal throttling from 40% of the trace onwards: clocks ramp "
+        "down to a 2.5x slowdown over a 10% ramp and stay there",
+        [ThermalThrottle(start_ms=0.4 * span_ms, duration_ms=0.6 * span_ms,
+                         factor=2.5, ramp_ms=0.1 * span_ms)],
+        seed)
+
+
+def _rung_failure(span_ms: float, seed: int, rungs) -> ChaosScenario:
+    return ChaosScenario(
+        "rung-failure",
+        "the targeted rung(s) hard-fail over the middle half of the "
+        "trace (weights unloadable); everything else is healthy",
+        [RungFailure(start_ms=0.25 * span_ms, duration_ms=0.5 * span_ms,
+                     rungs=rungs)],
+        seed)
+
+
+def _saturation(span_ms: float, seed: int, rungs) -> ChaosScenario:
+    return ChaosScenario(
+        "queue-saturation",
+        "memory pressure halves then quarters the usable queue over the "
+        "middle of the trace",
+        [QueueSaturation(start_ms=0.2 * span_ms, duration_ms=0.6 * span_ms,
+                         factor=0.25)],
+        seed)
+
+
+def _bias(span_ms: float, seed: int, rungs) -> ChaosScenario:
+    return ChaosScenario(
+        "estimator-bias",
+        "the latency estimator turns optimistic (2x under-estimate) for "
+        "the middle 60% of the trace; planning decisions go wrong",
+        [EstimatorBias(start_ms=0.2 * span_ms, duration_ms=0.6 * span_ms,
+                       factor=0.5)],
+        seed)
+
+
+def _mixed(span_ms: float, seed: int, rungs) -> ChaosScenario:
+    return ChaosScenario(
+        "mixed",
+        "a straggler storm, a late thermal ramp and a failing rung "
+        "overlapping — the everything-goes-wrong drill",
+        [StragglerStorm(start_ms=0.15 * span_ms, duration_ms=0.4 * span_ms,
+                        prob=0.3, scale=10.0),
+         ThermalThrottle(start_ms=0.5 * span_ms, duration_ms=0.5 * span_ms,
+                         factor=2.0, ramp_ms=0.05 * span_ms),
+         RungFailure(start_ms=0.3 * span_ms, duration_ms=0.3 * span_ms,
+                     rungs=rungs)],
+        seed)
+
+
+#: Built-in scenario factories: name -> (span_ms, seed, rungs) -> scenario.
+SCENARIOS: dict[str, Callable[..., ChaosScenario]] = {
+    "straggler-storm": _storm,
+    "thermal-throttle": _thermal,
+    "rung-failure": _rung_failure,
+    "queue-saturation": _saturation,
+    "estimator-bias": _bias,
+    "mixed": _mixed,
+}
+
+
+def build_scenario(name: str, span_ms: float, seed: int = 0,
+                   rungs: tuple[str, ...] | None = None) -> ChaosScenario:
+    """Instantiate a built-in scenario scaled to a trace span.
+
+    ``rungs`` names the rungs targeted by rung-specific faults (defaults
+    to none, which for :class:`RungFailure` means *every* rung — pass the
+    rung you mean to break).
+    """
+    try:
+        factory = SCENARIOS[name]
+    except KeyError:
+        raise KeyError(f"unknown scenario {name!r}; available: "
+                       f"{sorted(SCENARIOS)}") from None
+    return factory(span_ms, seed, rungs)

@@ -105,6 +105,15 @@ EXPERIMENTS: list[Experiment] = [
         "benchmarks/test_serve_throughput.py",
         ("serve_throughput.txt",)),
     Experiment(
+        "faults", "Beyond the paper",
+        "Serving resilience: under a seeded straggler storm the "
+        "timeout/retry/breaker engine holds misses under 5% where the "
+        "undefended engine exceeds 20%; replays are byte-identical "
+        "across PYTHONHASHSEED values.",
+        ("repro.faults",),
+        "benchmarks/test_faults_chaos.py",
+        ("faults_chaos.txt",)),
+    Experiment(
         "related", "Section II",
         "Related-work positioning vs BranchyNet, Edgent and NetAdapt, "
         "implemented on the same substrates.",

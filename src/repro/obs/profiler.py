@@ -27,7 +27,7 @@ import numpy as np
 from repro.device.fusion import fuse_kernels
 from repro.device.latency import network_latency
 from repro.device.profiler import LatencyTable, LayerRecord
-from repro.device.spec import DeviceSpec
+from repro.device.spec import DeviceSpec, stable_seed
 from repro.nn.graph import Network
 
 __all__ = ["LayerProfiler", "profile_forward"]
@@ -72,7 +72,7 @@ class LayerProfiler:
         self.spec = spec
         self.warmup = warmup
         if rng is None:
-            rng = abs(hash(("obs-profile", net.name, spec.name))) % (2 ** 32)
+            rng = stable_seed("obs-profile", net.name, spec.name)
         if isinstance(rng, (int, np.integer)):
             rng = np.random.default_rng(int(rng))
         self._rng = rng

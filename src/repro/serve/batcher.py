@@ -57,16 +57,24 @@ class MicroBatcher:
         if not len(queue):
             raise IndexError("cannot form a batch from an empty queue")
         batch = [queue.pop()]
+        stop = None
         while len(batch) < self.max_batch and len(queue):
             candidate = queue.peek()
             est = rung.estimate_ms(len(batch) + 1)
             if not self._fits(batch + [candidate], now_ms, est):
+                stop = "deadline-fit"
                 break
             batch.append(queue.pop())
         if self._emit is not None:
-            # member rids and the batched estimate ride the engine's
-            # matching "forward" span; duplicating them here costs a list
-            # build plus an estimate per batch on the hot path
+            # member rids ride the engine's matching "forward" span; the
+            # batched estimate and stop reason are stamped here because
+            # only the batcher knows *why* growth stopped (estimate_ms at
+            # the final size is one cached dict lookup, no per-member work)
+            if stop is None:
+                stop = ("max-batch" if len(batch) == self.max_batch
+                        else "queue-empty")
             self._emit("batch", "batch", now_ms, 0.0, None,
-                       {"size": len(batch)})
+                       {"size": len(batch),
+                        "est_ms": rung.estimate_ms(len(batch)),
+                        "stop": stop})
         return batch

@@ -11,6 +11,18 @@ response times to the hysteresis controller, degrading to a faster TRN
 when the windowed p99 threatens the deadline and upgrading back when both
 the observed latencies and the predicted utilisation of the slower rung
 allow it.
+
+With ``ServerConfig(resilience=True)`` the engine also defends the
+deadline against a *misbehaving device* (see :mod:`repro.faults`): each
+batch execution carries a timeout (a multiple of its predicted latency);
+an attempt that would overrun it is cancelled — its timeout cost is paid
+on the clock — and retried on a faster rung; per-rung circuit breakers
+open after ``breaker_threshold`` consecutive timeouts/failures, taking
+the rung out of rotation until a cooldown expires and a half-open probe
+batch succeeds; and when every usable rung is broken the engine falls
+back to the fastest rung outright, shedding accuracy instead of missing
+deadlines or crashing. A batch is dropped (counted, never lost) only
+when even the fastest rung hard-fails.
 """
 
 from __future__ import annotations
@@ -18,11 +30,14 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 
+from repro.faults.resilience import CircuitBreaker, HealthProbe, \
+    RungFailureError
+
 from .batcher import MicroBatcher
 from .ladder import HysteresisController, TRNLadder
 from .metrics import ServerMetrics
 from .queue import EDFQueue
-from .request import COMPLETED, REJECTED, Request, Response
+from .request import COMPLETED, DROPPED, REJECTED, Request, Response
 
 __all__ = ["ServerConfig", "Engine"]
 
@@ -49,6 +64,12 @@ class ServerConfig:
     warm_start: bool = True           # skip the device's cold-start ramp
     execute: bool = True              # run real forwards (False = timing only)
     seed: int = 0
+    # -- resilience (see repro.faults) --------------------------------------
+    resilience: bool = False          # timeouts/retries/breakers on or off
+    exec_timeout_factor: float = 2.5  # batch timeout = factor x predicted
+    max_retries: int = 3              # abandoned attempts per batch
+    breaker_threshold: int = 3        # consecutive failures that open
+    breaker_cooldown_ms: float = 25.0  # open -> half-open probe delay
 
 
 class Engine:
@@ -66,7 +87,8 @@ class Engine:
     """
 
     def __init__(self, ladder: TRNLadder, config: ServerConfig,
-                 metrics: ServerMetrics, tracer=None, drift=None):
+                 metrics: ServerMetrics, tracer=None, drift=None,
+                 faults=None):
         self.ladder = ladder
         self.config = config
         self.metrics = metrics
@@ -75,6 +97,19 @@ class Engine:
         # transitions, drift events) go through self.tracer directly
         self._emit = None if tracer is None else tracer.emit
         self.drift = drift
+        self.faults = faults
+        if faults is not None:
+            # rewind the chaos scenario: a fresh engine replays the same
+            # failures at the same virtual times (run-level determinism)
+            faults.reset()
+        self.breakers: dict[str, CircuitBreaker] = {}
+        if config.resilience:
+            self.breakers = {
+                rung.name: CircuitBreaker(
+                    rung.name, threshold=config.breaker_threshold,
+                    cooldown_ms=config.breaker_cooldown_ms,
+                    listener=self._on_breaker_event)
+                for rung in ladder.rungs}
         self.queue = EDFQueue(config.queue_capacity, tracer=tracer)
         self.batcher = MicroBatcher(config.max_batch, config.batch_slack_ms,
                                     tracer=tracer)
@@ -112,6 +147,11 @@ class Engine:
                 start = max(now_ms, req.arrival_ms)
                 if start + self._admission_estimate_ms() > req.abs_deadline_ms:
                     reason = "unmeetable-deadline"
+            if (reason is None and self.faults is not None
+                    and len(self.queue) >=
+                    self.faults.effective_capacity(self.queue.capacity)):
+                # saturation fault: only part of the queue is usable
+                reason = "queue-full"
             if reason is None and not self.queue.push(req, now_ms=now_ms):
                 reason = "queue-full"
             if reason is None:
@@ -205,9 +245,156 @@ class Engine:
             self.tracer.instant(direction, "ladder", now_ms, frm=frm,
                                 to=self.ladder.current.name)
 
+    # -- resilience ----------------------------------------------------------
+    def _on_breaker_event(self, event) -> None:
+        """Count and trace one circuit-breaker transition."""
+        self.metrics.record_breaker(event.to_state)
+        if self.tracer is not None:
+            self.tracer.instant("breaker", "faults", event.time_ms,
+                                rung=event.rung, frm=event.from_state,
+                                to=event.to_state, reason=event.reason)
+
+    def _tick_faults(self, now_ms: float) -> None:
+        """Advance the injector clock; trace fault windows opening/closing."""
+        for event in self.faults.tick(now_ms):
+            self.metrics.record_fault_event()
+            if self.tracer is not None:
+                self.tracer.instant("fault", "faults", now_ms,
+                                    fault=event.fault, phase=event.phase)
+
+    def _select_rung(self, now_ms: float):
+        """The rung the next batch should target.
+
+        Without resilience this is the ladder cursor. With it, rungs whose
+        breaker is open are skipped *downwards* (faster), because a faster
+        rung can serve the slower rung's traffic (at lower accuracy) while
+        the reverse re-breaks the deadline. With every breaker refusing,
+        fall back to the fastest rung outright — the last-resort path.
+        """
+        if not self.config.resilience:
+            return self.ladder.current
+        for i in range(self.ladder.current_index, len(self.ladder)):
+            rung = self.ladder.rungs[i]
+            if self.breakers[rung.name].allow(now_ms):
+                return rung
+        return self.ladder.fastest
+
+    def _retry_rung(self, failed, now_ms: float):
+        """The next faster rung to retry on (None when nothing is faster)."""
+        start = self.ladder.rungs.index(failed) + 1
+        for i in range(start, len(self.ladder)):
+            rung = self.ladder.rungs[i]
+            if self.breakers[rung.name].allow(now_ms):
+                return rung
+        # every faster breaker is open; the fastest rung is still a better
+        # bet than replaying the rung that just failed
+        return self.ladder.fastest if failed is not self.ladder.fastest \
+            else None
+
+    def _execute(self, batch: list, rung, now_ms: float):
+        """Run one batch, resiliently when configured.
+
+        Returns ``(rung, service_ms, exec_start_ms)`` — the rung that
+        actually served the batch, its sampled service time, and when that
+        final attempt started (later than ``now_ms`` when cancelled
+        attempts paid their timeouts first). ``service_ms`` is ``None``
+        when the batch could not run anywhere (dropped by the caller).
+        """
+        if not self.config.resilience:
+            return rung, rung.sample_service_ms(len(batch)), now_ms
+        t = now_ms
+        attempts = 0
+        while True:
+            breaker = self.breakers[rung.name]
+            try:
+                service_ms = rung.sample_service_ms(len(batch))
+            except RungFailureError:
+                breaker.record_failure(t, "failure")
+                if self._emit is not None:
+                    self._emit("rung-failure", "faults", t, 0.0, None,
+                               {"rung": rung.name, "size": len(batch)})
+                nxt = self._retry_rung(rung, t)
+                if nxt is None:
+                    return rung, None, t     # nothing can run this batch
+                self.metrics.record_retry()
+                rung = nxt
+                attempts += 1
+                continue
+            timeout_ms = self.config.exec_timeout_factor \
+                * rung.estimate_ms(len(batch))
+            if service_ms > timeout_ms and attempts < self.config.max_retries:
+                # cancel at the timeout: the cost is bounded at timeout_ms
+                # instead of the full straggler latency. A timeout is a
+                # stochastic straggler (unlike a hard failure), so when no
+                # faster rung exists the same rung is re-rolled in place —
+                # paying the timeout for a fresh draw beats riding out a
+                # many-x straggler in expectation.
+                nxt = self._retry_rung(rung, t) or rung
+                breaker.record_failure(t, "timeout")
+                self.metrics.record_timeout()
+                self.metrics.record_retry()
+                if self._emit is not None:
+                    self._emit("timeout", "faults", t, timeout_ms, None,
+                               {"rung": rung.name, "size": len(batch),
+                                "sampled_ms": float(service_ms)})
+                t += timeout_ms
+                rung = nxt
+                attempts += 1
+                continue
+            breaker.record_success(t)
+            return rung, service_ms, t
+
+    def _drop_batch(self, batch: list, now_ms: float,
+                    responses: dict[int, Response], reason: str) -> None:
+        """Count a batch that could not execute anywhere as drops."""
+        for req in batch:
+            responses[req.rid] = Response(
+                req.rid, DROPPED, req.arrival_ms, req.abs_deadline_ms,
+                reject_reason=reason)
+            self.metrics.record_drop()
+            if self._emit is not None:
+                self._emit("drop", "serve", now_ms, 0.0, req.rid,
+                           {"reason": reason})
+
+    def drain(self, now_ms: float) -> list[Response]:
+        """Drop every queued request (shutdown); counted, never lost.
+
+        Each drained request becomes a ``DROPPED`` response and increments
+        the ``dropped`` counter, keeping the conservation law
+        ``completed + dropped == admitted`` intact through shutdown — even
+        when the queue backed up behind an open circuit breaker.
+        """
+        dropped = []
+        for req in self.queue.drain():
+            resp = Response(req.rid, DROPPED, req.arrival_ms,
+                            req.abs_deadline_ms, reject_reason="drained")
+            self.metrics.record_drop()
+            if self._emit is not None:
+                self._emit("drop", "serve", now_ms, 0.0, req.rid,
+                           {"reason": "drained"})
+            dropped.append(resp)
+        return dropped
+
+    def probe_health(self, slow_factor: float = 3.0) -> list:
+        """Actively probe every rung (see :class:`repro.faults.HealthProbe`).
+
+        Off the serving path, but it consumes measurement-RNG draws —
+        probe before or after a run, not in the middle of one, if the run
+        must stay bit-for-bit reproducible.
+        """
+        return HealthProbe(slow_factor).probe_ladder(self.ladder)
+
     # -- the event loop ------------------------------------------------------
-    def run(self, trace: list[Request]) -> list[Response]:
-        """Serve a whole trace; returns responses in trace order."""
+    def run(self, trace: list[Request],
+            stop_ms: float | None = None) -> list[Response]:
+        """Serve a whole trace; returns responses in trace order.
+
+        ``stop_ms`` shuts the server down at that virtual time: arrivals
+        past it are never admitted and whatever is still queued is drained
+        as ``DROPPED`` (see :meth:`drain`). Requests the shutdown leaves
+        without a response are omitted from the returned list — their
+        drops still show in :class:`~repro.serve.metrics.ServerMetrics`.
+        """
         responses: dict[int, Response] = {}
         pending = deque(sorted(trace, key=lambda r: (r.arrival_ms, r.rid)))
         now = 0.0
@@ -215,14 +402,22 @@ class Engine:
             if not len(self.queue) and pending \
                     and pending[0].arrival_ms > now:
                 now = pending[0].arrival_ms      # idle until the next arrival
+            if stop_ms is not None and now >= stop_ms:
+                break
+            if self.faults is not None:
+                self._tick_faults(now)
             self._admit(pending, now, responses)
             if not len(self.queue):
                 continue
-            rung = self.ladder.current
+            rung = self._select_rung(now)
             batch = self.batcher.form(self.queue, now, rung)
-            predicted_ms = rung.estimate_ms(len(batch))
-            service_ms = rung.sample_service_ms(len(batch))
-            finish = now + service_ms
+            rung, service_ms, exec_start = self._execute(batch, rung, now)
+            if service_ms is None:
+                # even the fastest rung hard-failed: shed the batch
+                self._drop_batch(batch, exec_start, responses, "rung-failed")
+                now = max(now, exec_start)
+                continue
+            finish = exec_start + service_ms
             outputs = None
             if self.config.execute and all(r.x is not None for r in batch):
                 outputs = rung.forward([r.x for r in batch])
@@ -230,15 +425,21 @@ class Engine:
             if self._emit is not None:
                 # a tuple of ints (unlike a list) leaves the span record
                 # GC-untrackable, keeping collector sweeps off the buffer
-                self._emit("forward", "serve", now, service_ms, None,
+                self._emit("forward", "serve", exec_start, service_ms, None,
                            {"rung": rung.name, "size": len(batch),
                             "rids": tuple(r.rid for r in batch)})
             # one (prediction, observation) pair per executed batch: every
             # member shares the batch's estimate and measured time, so
             # feeding it per member would fill the drift window with
-            # duplicates of the same evidence
-            self._observe_drift(predicted_ms, service_ms, finish, rung.name)
+            # duplicates of the same evidence. The executed rung's own
+            # estimate is compared (not the originally selected rung's),
+            # so retries don't masquerade as estimator drift.
+            self._observe_drift(rung.estimate_ms(len(batch)),
+                                service_ms, finish, rung.name)
             for i, req in enumerate(batch):
+                # start_ms stays the batch-formation time: service_ms and
+                # latency_ms then include cancelled-attempt overhead, so
+                # the controller reacts to what requests actually endured
                 resp = Response(
                     req.rid, COMPLETED, req.arrival_ms, req.abs_deadline_ms,
                     rung=rung.name, start_ms=now, finish_ms=finish,
@@ -253,7 +454,9 @@ class Engine:
                          "met": bool(resp.deadline_met)})
                 self._apply_policy(resp.latency_ms, finish)
             now = finish
-        return [responses[r.rid] for r in trace]
+        for resp in self.drain(now):
+            responses[resp.rid] = resp
+        return [responses[r.rid] for r in trace if r.rid in responses]
 
     def _observe_drift(self, predicted_ms: float, observed_ms: float,
                        time_ms: float, rung: str) -> None:

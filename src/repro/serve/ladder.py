@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.device.runtime import ServiceTimeSampler
-from repro.device.spec import DeviceSpec
+from repro.device.spec import DeviceSpec, stable_seed
 from repro.nn.graph import Network
 from repro.trim.removal import build_trn
 from repro.trim.search import enumerate_blockwise
@@ -47,7 +47,7 @@ class TRNRung:
             raise ValueError(f"rung {self.name!r} network must be built")
         self.sampler = ServiceTimeSampler(
             self.network, self.spec,
-            rng=abs(hash((self.name, self.spec.name))) % (2 ** 32))
+            rng=stable_seed(self.name, self.spec.name))
 
     def reseed(self, rng: np.random.Generator | int) -> None:
         """Replace the sampler RNG (determinism across server runs)."""

@@ -125,7 +125,8 @@ class ServerMetrics:
 
     COUNTERS = ("arrived", "admitted", "rejected", "completed",
                 "deadline_miss", "batches", "degrade_events",
-                "upgrade_events")
+                "upgrade_events", "dropped", "timeouts", "retries",
+                "breaker_opens", "breaker_closes", "fault_events")
 
     def __init__(self, deadline_ms: float):
         self.deadline_ms = deadline_ms
@@ -150,6 +151,29 @@ class ServerMetrics:
     def record_batch(self, size: int) -> None:
         self.counters["batches"].increment()
         self.batch_occupancy_sum += size
+
+    def record_drop(self) -> None:
+        """One admitted request dropped un-executed (drain or dead rungs)."""
+        self.counters["dropped"].increment()
+
+    def record_timeout(self) -> None:
+        """One batch execution cancelled at its timeout."""
+        self.counters["timeouts"].increment()
+
+    def record_retry(self) -> None:
+        """One batch re-executed on a faster rung after timeout/failure."""
+        self.counters["retries"].increment()
+
+    def record_breaker(self, to_state: str) -> None:
+        """One circuit-breaker transition (opens and closes counted)."""
+        if to_state == "open":
+            self.counters["breaker_opens"].increment()
+        elif to_state == "closed":
+            self.counters["breaker_closes"].increment()
+
+    def record_fault_event(self) -> None:
+        """One fault window opening or closing under the engine."""
+        self.counters["fault_events"].increment()
 
     def record_response(self, response) -> None:
         """Record one COMPLETED response (rejections use record_rejection)."""
@@ -221,6 +245,13 @@ class ServerMetrics:
             f"ladder: {c['degrade_events']} degrade / "
             f"{c['upgrade_events']} upgrade events",
         ]
+        if any(c[k] for k in ("dropped", "timeouts", "retries",
+                              "breaker_opens", "fault_events")):
+            lines.append(
+                f"resilience: {c['dropped']} dropped, {c['timeouts']} "
+                f"timeouts, {c['retries']} retries, breaker "
+                f"{c['breaker_opens']} opens / {c['breaker_closes']} "
+                f"closes, {c['fault_events']} fault events")
         if snap["per_rung"]:
             served = ", ".join(f"{name}: {n}"
                                for name, n in snap["per_rung"].items())

@@ -34,6 +34,7 @@ class EDFQueue:
         self._emit = None if tracer is None else tracer.emit
         self._heap: list[tuple[float, int, Request]] = []
         self._seq = 0
+        self._last_span_ms = 0.0
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -45,8 +46,12 @@ class EDFQueue:
     def push(self, request: Request, now_ms: float | None = None) -> bool:
         """Enqueue; returns False (request dropped) when the queue is full.
 
-        ``now_ms`` stamps the enqueue span (defaults to the request's
-        arrival time, which is correct whenever admission is immediate).
+        ``now_ms`` stamps the enqueue span with the engine's clock. The
+        engine always passes it; when omitted (direct queue use) the span
+        falls back to the request's arrival time. Either way the stamp is
+        clamped monotone against the previous enqueue span, so delayed
+        admission — e.g. a request re-enqueued by the resilience path —
+        can never back-date the trace.
         """
         if self.full:
             return False
@@ -54,10 +59,12 @@ class EDFQueue:
                        (request.abs_deadline_ms, self._seq, request))
         self._seq += 1
         if self._emit is not None:
-            self._emit(
-                "enqueue", "queue",
-                request.arrival_ms if now_ms is None else now_ms,
-                0.0, request.rid, {"depth": len(self._heap)})
+            ts = request.arrival_ms if now_ms is None else now_ms
+            if ts < self._last_span_ms:
+                ts = self._last_span_ms
+            self._last_span_ms = ts
+            self._emit("enqueue", "queue", ts,
+                       0.0, request.rid, {"depth": len(self._heap)})
         return True
 
     def peek(self) -> Request:

@@ -12,13 +12,16 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["Request", "Response", "COMPLETED", "REJECTED"]
+__all__ = ["Request", "Response", "COMPLETED", "REJECTED", "DROPPED"]
 
 #: Terminal request states. A completed request may still have missed its
 #: deadline (``Response.deadline_met`` is False); rejection happens at
-#: admission time, before any compute is spent.
+#: admission time, before any compute is spent; a *dropped* request was
+#: admitted but never executed — the engine drained it at shutdown, or
+#: every rung able to run it had failed.
 COMPLETED = "completed"
 REJECTED = "rejected"
+DROPPED = "dropped"
 
 
 @dataclass

@@ -45,6 +45,11 @@ class ServingResult:
         return [r for r in self.responses if r.status == "rejected"]
 
     @property
+    def dropped(self) -> list[Response]:
+        """Admitted but never executed (drained or every rung failed)."""
+        return [r for r in self.responses if r.status == "dropped"]
+
+    @property
     def missed(self) -> list[Response]:
         """Completed responses that overran their deadline."""
         return [r for r in self.completed if not r.deadline_met]
@@ -59,30 +64,45 @@ class Server:
     observed service times (see :mod:`repro.obs`). Both are shared across
     :meth:`run_trace` calls — clear them between runs if per-run traces
     are wanted.
+
+    ``faults`` (a :class:`repro.faults.FaultInjector`) subjects every run
+    to its chaos scenario: the ladder is served through fault-perturbed
+    rung proxies and the injector's virtual clock is driven by the engine.
+    The injector is rewound at the start of each run, so the same
+    (ladder, config, trace, faults) quadruple replays identically —
+    usually paired with ``ServerConfig(resilience=True)`` so the engine
+    fights back.
     """
 
     def __init__(self, ladder: TRNLadder,
                  config: ServerConfig | None = None,
-                 tracer=None, drift=None):
+                 tracer=None, drift=None, faults=None):
         self.ladder = ladder
         self.config = config or ServerConfig()
         self.tracer = tracer
         self.drift = drift
+        self.faults = faults
 
-    def run_trace(self, trace: list[Request],
+    def run_trace(self, trace: list[Request], stop_ms: float | None = None,
                   **overrides) -> ServingResult:
         """Replay a request trace through a fresh engine.
 
         Keyword overrides patch the server config for this run only, e.g.
         ``server.run_trace(trace, adaptive=False)`` to get the fixed-rung
-        baseline of the same scenario.
+        baseline of the same scenario. ``stop_ms`` shuts the engine down
+        at that virtual time, draining the queue as drops.
         """
         config = replace(self.config, **overrides) if overrides \
             else self.config
         self.ladder.reset(0)
+        ladder = self.ladder if self.faults is None \
+            else self.faults.wrap(self.ladder)
         metrics = ServerMetrics(config.deadline_ms)
-        engine = Engine(self.ladder, config, metrics,
-                        tracer=self.tracer, drift=self.drift)
-        responses = engine.run(trace)
+        engine = Engine(ladder, config, metrics,
+                        tracer=self.tracer, drift=self.drift,
+                        faults=self.faults)
+        responses = engine.run(trace, stop_ms=stop_ms)
+        # read the cursor off the engine's ladder: under fault injection it
+        # is a wrapped copy whose cursor the original never sees
         return ServingResult(responses, metrics,
-                             self.ladder.current.name, config)
+                             engine.ladder.current.name, config)
