@@ -9,10 +9,9 @@
 """
 
 import numpy as np
-import pytest
 
 from repro.data import make_hands_dataset
-from repro.train import TrainConfig, evaluate, fine_tune
+from repro.train import TrainConfig, fine_tune
 from repro.trim import enumerate_blockwise
 
 from conftest import emit

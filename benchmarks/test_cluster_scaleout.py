@@ -1,0 +1,180 @@
+"""Scale-out benchmark — multi-replica serving under overload.
+
+Not a paper figure: NetCut evaluates one device, this measures the
+cluster layer built on top of it. A seeded Poisson trace arrives faster
+than one Xavier-class replica can serve even on its fastest TRN, so the
+single-replica baseline saturates (queue-full rejections plus deadline
+misses on nearly everything it admits). The same trace routed across a
+3-replica fleet with deadline-aware power-of-two-choices must admit at
+least twice as much work and hold the deadline-miss rate under 5%.
+
+The replica-kill benchmark layers repro.faults on top: a rung-failure
+scenario kills every rung of one replica over the middle of the trace;
+its breakers open, the router routes around it, and the fleet-wide
+conservation law ``completed + dropped == admitted`` must still hold at
+drain with the cluster miss rate under 10%.
+
+The determinism benchmark replays the scale-out run in two subprocesses
+started with different ``PYTHONHASHSEED`` values and asserts the cluster
+snapshots are byte-identical — routing (including the P2C sampler) must
+draw nothing from Python's randomized hashing.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.cluster import Router, homogeneous_replicas, make_policy
+from repro.device import xavier
+from repro.faults import build_scenario
+from repro.serve import ServerConfig, poisson_trace
+from repro.zoo import build_network
+
+from conftest import emit
+
+REQUESTS = 2000
+DEADLINE_MS = 3.0
+RATE_RPS = 44e3        # ~1.4x the fastest rung's batched capacity per replica
+KILL_RATE_RPS = 30e3   # two surviving replicas can absorb this
+SEED = 0
+
+# a controller tuned for short traces: react within a handful of batches
+CONFIG_KWARGS = dict(deadline_ms=DEADLINE_MS, execute=False, seed=SEED,
+                     queue_capacity=64, window=16, min_observations=8,
+                     cooldown=8)
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+@pytest.fixture(scope="module")
+def base():
+    return build_network("mobilenet_v1_0.5").build(0)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return poisson_trace(REQUESTS, RATE_RPS, DEADLINE_MS, rng=SEED)
+
+
+def _run_cluster(base, trace, n_replicas, faults=None, resilience=False):
+    config = ServerConfig(resilience=resilience, **CONFIG_KWARGS)
+    replicas = homogeneous_replicas(base, xavier(), n_replicas, config,
+                                    num_classes=5, max_rungs=6, faults=faults)
+    router = Router(replicas, make_policy("p2c-deadline", SEED))
+    return router.run(trace)
+
+
+def _throughput_rps(result, trace):
+    span_s = (trace[-1].arrival_ms - trace[0].arrival_ms) / 1e3
+    admitted = result.metrics.aggregate().counters["admitted"].value
+    return admitted / span_s
+
+
+def test_bench_cluster_scaleout(base, trace, benchmark):
+    """3 replicas under p2c-deadline: >=2x admitted throughput, <5% miss."""
+    cluster = benchmark(_run_cluster, base, trace, 3)
+    single = _run_cluster(base, trace, 1)
+
+    lines = [f"{'fleet':12s} {'miss%':>8} {'admit/s':>10} {'p50ms':>8} "
+             f"{'p95ms':>8} {'p99ms':>8} {'rejected':>9}"]
+    for name, res in (("1 replica", single), ("3 replicas", cluster)):
+        agg = res.metrics.aggregate()
+        lines.append(
+            f"{name:12s} {100 * res.miss_rate:>8.2f} "
+            f"{_throughput_rps(res, trace):>10.0f} "
+            f"{agg.latency.quantile(0.50):>8.3f} "
+            f"{agg.latency.quantile(0.95):>8.3f} "
+            f"{agg.latency.quantile(0.99):>8.3f} "
+            f"{len(res.rejected):>9d}")
+    lines.append(f"p2c-deadline routing, {REQUESTS} Poisson requests at "
+                 f"{RATE_RPS:.0f} rps, deadline {DEADLINE_MS} ms, seed "
+                 f"{SEED}")
+    emit("cluster_scaleout", lines)
+
+    # the single replica is saturated; the 3-replica fleet is healthy
+    assert single.miss_rate > 0.20
+    assert cluster.miss_rate < 0.05
+    ratio = _throughput_rps(cluster, trace) / _throughput_rps(single, trace)
+    assert ratio >= 2.0
+    # every request is accounted for at cluster level
+    counters = cluster.metrics.counters
+    assert counters["arrived"].value == REQUESTS
+    assert (counters["routed"].value
+            + counters["no_replica"].value) == REQUESTS
+
+
+def test_bench_cluster_replica_kill(base, benchmark):
+    """Killing one replica mid-run: routed around, nothing unaccounted."""
+    trace = poisson_trace(REQUESTS, KILL_RATE_RPS, DEADLINE_MS, rng=SEED)
+
+    def run():
+        kill = build_scenario("rung-failure", trace[-1].arrival_ms,
+                              seed=SEED)
+        return _run_cluster(base, trace, 3, faults={0: kill.injector()},
+                            resilience=True)
+
+    result = benchmark(run)
+    agg = result.metrics.aggregate()
+    c = agg.counters
+
+    lines = [f"cluster miss% {100 * result.miss_rate:.2f}  "
+             f"breaker_opens {c['breaker_opens'].value}  "
+             f"dropped {c['dropped'].value}"]
+    for replica in result.replicas:
+        rc = replica.metrics.counters
+        lines.append(f"{replica.name}: routed "
+                     f"{result.metrics.per_replica.get(replica.name, 0):>5d}"
+                     f"  completed {rc['completed'].value:>5d}"
+                     f"  dropped {rc['dropped'].value:>4d}")
+    lines.append(f"rung-failure on r0, {REQUESTS} Poisson requests at "
+                 f"{KILL_RATE_RPS:.0f} rps, deadline {DEADLINE_MS} ms, "
+                 f"seed {SEED}")
+    emit("cluster_replica_kill", lines)
+
+    assert result.miss_rate < 0.10
+    # the dead replica's breakers opened and traffic shifted away from it
+    assert c["breaker_opens"].value > 0
+    dead, healthy = result.replicas[0], result.replicas[1:]
+    assert all(result.metrics.per_replica[r.name]
+               > result.metrics.per_replica[dead.name] for r in healthy)
+    # conservation at drain, fleet-wide
+    assert c["completed"].value + c["dropped"].value == c["admitted"].value
+
+
+def test_bench_cluster_deterministic_across_hashseeds(benchmark):
+    """Two interpreters with different hash seeds -> identical snapshots."""
+    code = (
+        "import json, sys\n"
+        "sys.path.insert(0, %r)\n"
+        "from repro.cluster import Router, homogeneous_replicas, "
+        "make_policy\n"
+        "from repro.device import xavier\n"
+        "from repro.serve import ServerConfig, poisson_trace\n"
+        "from repro.zoo import build_network\n"
+        "base = build_network('mobilenet_v1_0.5').build(0)\n"
+        "trace = poisson_trace(%d, %r, %r, rng=%d)\n"
+        "config = ServerConfig(deadline_ms=%r, execute=False, seed=%d,\n"
+        "    queue_capacity=64, window=16, min_observations=8, cooldown=8)\n"
+        "replicas = homogeneous_replicas(base, xavier(), 3, config,\n"
+        "                                num_classes=5, max_rungs=6)\n"
+        "router = Router(replicas, make_policy('p2c-deadline', %d))\n"
+        "result = router.run(trace)\n"
+        "print(json.dumps(result.metrics.snapshot(), sort_keys=True))\n"
+    ) % (os.path.join(REPO, "src"), REQUESTS, RATE_RPS, DEADLINE_MS, SEED,
+         DEADLINE_MS, SEED, SEED)
+
+    def replay(hashseed: str) -> str:
+        env = dict(os.environ, PYTHONHASHSEED=hashseed)
+        out = subprocess.run([sys.executable, "-c", code], env=env,
+                             capture_output=True, text=True, check=True)
+        return out.stdout
+
+    first = benchmark.pedantic(replay, args=("0",), rounds=1)
+    second = replay("31337")
+    assert first == second
+    snapshot = json.loads(first)
+    assert snapshot["aggregate"]["counters"]["completed"] > 0
+    assert set(snapshot["replicas"]) == {"r0", "r1", "r2"}

@@ -7,7 +7,6 @@ latency benefit of each optimization on the device model and that
 quantization leaves the classifier's outputs essentially unchanged.
 """
 
-import numpy as np
 import pytest
 
 from repro.device import QuantizedNetwork, calibration_split, network_latency

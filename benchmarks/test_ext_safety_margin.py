@@ -6,7 +6,6 @@ estimate by a small safety margin trades a little accuracy for measured
 deadline compliance.
 """
 
-import numpy as np
 import pytest
 
 from repro.device.runtime import measure_latency

@@ -8,7 +8,6 @@ the number of removed layers.
 """
 
 import numpy as np
-import pytest
 
 from conftest import emit
 

@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# Benchmark smoke: the fast (virtual-time, no-Workbench) benchmark subset
+# plus the machine-readable perf trajectory.
+#
+# The figure-reproduction benchmarks rebuild the pretrained zoo and the
+# 148-TRN exploration — minutes of work with tight tolerances — so they
+# stay out of the smoke run; this covers the serve, cluster, obs and
+# faults benchmarks, all seeded and wall-clock-independent, then emits
+# BENCH_serve.json at the repo root so the perf trajectory accumulates
+# commit over commit.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+PYTHONHASHSEED=random PYTHONPATH=src python -m pytest \
+    benchmarks/test_serve_throughput.py \
+    benchmarks/test_cluster_scaleout.py \
+    benchmarks/test_obs_overhead.py \
+    benchmarks/test_faults_chaos.py \
+    -q --benchmark-disable "$@"
+
+PYTHONPATH=src python scripts/bench_serve.py

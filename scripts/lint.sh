@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# Lint + format gate (ruff).
+#
+# ruff ships as a binary wheel that is not part of the minimal runtime
+# image, so this script degrades gracefully: when ruff is missing it
+# reports and exits 0 rather than failing environments that only carry
+# the runtime dependencies. CI installs the `test` extra (which includes
+# ruff) and therefore always runs the real checks.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+if ! command -v ruff >/dev/null 2>&1; then
+    echo "lint: ruff not installed (pip install -e '.[test]'); skipping"
+    exit 0
+fi
+
+ruff check .
+ruff format --check .
+echo "lint: ok"

@@ -374,6 +374,88 @@ def cmd_faults(args) -> int:
     return 0
 
 
+def cmd_cluster(args) -> int:
+    """Route a request trace across a fleet of serving replicas.
+
+    Same traffic model as ``serve``, dispatched across ``--replicas``
+    shards under a routing policy. ``--device`` (repeatable) builds a
+    heterogeneous fleet from named device profiles; ``--kill-replica``
+    hard-fails every rung of one replica over the middle of the trace
+    (resilience is switched on so its breakers open and the router
+    routes around it); ``--autoscale`` starts from one replica and lets
+    the autoscaler grow the fleet.
+    """
+    from dataclasses import replace
+
+    from repro.cluster import (
+        Autoscaler,
+        AutoscalerConfig,
+        Replica,
+        Router,
+        homogeneous_replicas,
+        make_policy,
+    )
+    from repro.device import DEVICE_PROFILES, xavier
+    from repro.faults import build_scenario
+    from repro.serve import ServerConfig, TRNLadder, poisson_trace
+    from repro.zoo import build_network
+
+    base = build_network(_resolve_net(args.net)).build(0)
+    config = ServerConfig(deadline_ms=args.deadline_ms,
+                          max_batch=args.max_batch, execute=False,
+                          seed=args.seed, queue_capacity=64, window=16,
+                          min_observations=8, cooldown=8,
+                          resilience=args.kill_replica is not None)
+    probe = TRNLadder.from_base(base, xavier(), num_classes=5,
+                                max_rungs=args.max_rungs)
+    rate = args.rate if args.rate else \
+        0.8e3 * args.replicas / probe.fastest.estimate_ms(1)
+    trace = poisson_trace(args.requests, rate, args.deadline_ms,
+                          rng=args.seed)
+    span_ms = trace[-1].arrival_ms if trace else 0.0
+
+    def build_replica(i: int, spec=None) -> Replica:
+        spec = spec or xavier()
+        ladder = TRNLadder.from_base(base, spec, num_classes=5,
+                                     max_rungs=args.max_rungs)
+        faults = None
+        if args.kill_replica == i:
+            faults = build_scenario("rung-failure", span_ms,
+                                    seed=args.seed).injector()
+        return Replica(f"r{i}", ladder,
+                       replace(config, seed=config.seed + i), faults=faults)
+
+    if args.device:
+        specs = [DEVICE_PROFILES[name]() for name in args.device]
+        replicas = [build_replica(i, spec) for i, spec in enumerate(specs)]
+    elif args.kill_replica is not None:
+        replicas = [build_replica(i) for i in range(args.replicas)]
+    else:
+        replicas = homogeneous_replicas(base, xavier(), args.replicas,
+                                        config, max_rungs=args.max_rungs)
+
+    autoscaler = None
+    if args.autoscale:
+        replicas = replicas[:1]
+        autoscaler = Autoscaler(build_replica, AutoscalerConfig(
+            max_replicas=args.replicas, check_interval_ms=1.0,
+            cooldown_ms=2.0, up_load=4.0))
+
+    policy = make_policy(args.policy, args.seed)
+    result = Router(replicas, policy, autoscaler=autoscaler).run(trace)
+
+    fleet = ", ".join(f"{r.name}({r.spec.name})" for r in result.replicas)
+    print(f"fleet: {fleet}")
+    print(f"{args.requests} Poisson requests @ {rate:,.0f} req/s, "
+          f"deadline {args.deadline_ms} ms, policy {policy.name}, "
+          f"seed {args.seed}")
+    if args.kill_replica is not None:
+        print(f"replica r{args.kill_replica} hard-fails over the middle "
+              f"of the trace")
+    print("\n" + result.metrics.report())
+    return 0
+
+
 def cmd_figures(args) -> int:
     """List every reproduced figure/claim and its benchmark."""
     from repro.figures import EXPERIMENTS
@@ -473,6 +555,39 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the injector's fault event log")
     p.add_argument("--seed", type=int, default=0)
 
+    from repro.cluster import POLICIES
+    from repro.device import DEVICE_PROFILES
+
+    p = sub.add_parser("cluster",
+                       help="multi-replica scale-out serving")
+    p.add_argument("--replicas", type=int, default=3,
+                   help="fleet size (with --autoscale: the cap)")
+    p.add_argument("--policy", default="p2c-deadline",
+                   choices=sorted(POLICIES),
+                   help="routing policy")
+    p.add_argument("--device", action="append", default=None,
+                   choices=sorted(DEVICE_PROFILES),
+                   help="device profile per replica (repeatable; builds "
+                        "a heterogeneous fleet and overrides --replicas)")
+    p.add_argument("--net", default="mobilenet_v1_0.5",
+                   help="zoo network (exact name, prefix or substring)")
+    p.add_argument("--deadline-ms", type=float, default=3.0,
+                   dest="deadline_ms")
+    p.add_argument("--requests", type=int, default=2000)
+    p.add_argument("--rate", type=float, default=None,
+                   help="offered load in requests/s (default: ~1.4x one "
+                        "replica's batched capacity per fleet replica)")
+    p.add_argument("--max-rungs", type=int, default=6, dest="max_rungs")
+    p.add_argument("--max-batch", type=int, default=8, dest="max_batch")
+    p.add_argument("--autoscale", action="store_true",
+                   help="start from one replica and let the autoscaler "
+                        "grow the fleet up to --replicas")
+    p.add_argument("--kill-replica", type=int, default=None,
+                   dest="kill_replica", metavar="INDEX",
+                   help="hard-fail this replica's rungs mid-trace "
+                        "(rung-failure scenario; enables resilience)")
+    p.add_argument("--seed", type=int, default=0)
+
     p = sub.add_parser("profile",
                        help="per-layer latency table via forward hooks")
     p.add_argument("--net", default="mobilenet_v1_0.5",
@@ -524,6 +639,7 @@ _COMMANDS = {
     "profile": cmd_profile,
     "trace": cmd_trace,
     "faults": cmd_faults,
+    "cluster": cmd_cluster,
 }
 
 

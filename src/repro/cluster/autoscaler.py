@@ -1,0 +1,129 @@
+"""Autoscaling: grow and shrink the fleet from serving-pressure signals.
+
+The autoscaler watches two rolling signals over the active replicas —
+the deadline-miss rate since its last check and the mean un-executed load
+per replica — and acts with hysteresis so a boundary workload cannot make
+it flap:
+
+- **asymmetric thresholds**: scaling up triggers at ``up_miss``/
+  ``up_load``, scaling down only below the strictly lower ``down_miss``/
+  ``down_load`` band;
+- **cooldown**: after any action the autoscaler holds off for
+  ``cooldown_ms`` of virtual time, letting the routed traffic
+  redistribute before the signals are trusted again;
+- **down-streak**: scaling down additionally requires
+  ``down_checks`` *consecutive* calm evaluations (one brief lull never
+  drains a replica), and draining — not killing — is how capacity
+  leaves: the router stops sending new work and the replica finishes
+  its queue.
+
+This mirrors the serve-layer :class:`repro.serve.HysteresisController`
+one level up: that controller trades accuracy for latency on one replica,
+this one trades money (replicas) for latency across the fleet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AutoscalerConfig", "Autoscaler"]
+
+
+@dataclass
+class AutoscalerConfig:
+    """Scaling thresholds and hysteresis."""
+
+    min_replicas: int = 1
+    max_replicas: int = 8
+    check_interval_ms: float = 10.0   # virtual time between evaluations
+    up_miss: float = 0.10             # recent miss rate that adds a replica
+    up_load: float = 8.0              # mean per-replica backlog that adds one
+    down_miss: float = 0.02           # both signals must sit below the
+    down_load: float = 1.0            # down band to drain a replica
+    cooldown_ms: float = 50.0         # hold-off after any action
+    down_checks: int = 3              # consecutive calm checks to scale down
+
+    def __post_init__(self):
+        if self.min_replicas < 1:
+            raise ValueError("min_replicas must be >= 1")
+        if self.max_replicas < self.min_replicas:
+            raise ValueError("max_replicas must be >= min_replicas")
+        if self.down_miss >= self.up_miss or self.down_load >= self.up_load:
+            raise ValueError("the down band must sit strictly below the up "
+                             "band (hysteresis)")
+        if self.check_interval_ms <= 0 or self.cooldown_ms < 0:
+            raise ValueError("intervals must be positive")
+
+
+class Autoscaler:
+    """Decide scale actions from rolling miss-rate and queue-depth signals.
+
+    ``factory(index)`` builds a fresh replica when the fleet grows (the
+    router assigns the index). :meth:`evaluate` is called by the router
+    at every global event and is interval-gated internally, so calling it
+    often is cheap and the decision cadence stays tied to virtual time,
+    not to the arrival rate.
+    """
+
+    def __init__(self, factory, config: AutoscalerConfig | None = None):
+        self.factory = factory
+        self.config = config or AutoscalerConfig()
+        self._last_check_ms = 0.0
+        self._last_action_ms = -self.config.cooldown_ms
+        self._completed = 0
+        self._missed = 0
+        self._calm_streak = 0
+
+    def _signals(self, replicas: list) -> tuple[float, float]:
+        """Recent miss rate (since last check) and mean load per replica."""
+        completed = sum(r.metrics.counters["completed"].value
+                        for r in replicas)
+        missed = sum(r.metrics.counters["deadline_miss"].value
+                     for r in replicas)
+        d_completed = completed - self._completed
+        d_missed = missed - self._missed
+        self._completed, self._missed = completed, missed
+        miss_rate = d_missed / d_completed if d_completed else 0.0
+        active = [r for r in replicas if not r.draining]
+        mean_load = (sum(r.load for r in active) / len(active)
+                     if active else 0.0)
+        return miss_rate, mean_load
+
+    def evaluate(self, now_ms: float, replicas: list):
+        """One scaling decision: ``("up", None)``, ``("down", replica)``
+        or ``None``.
+
+        ``replicas`` is the router's live list (draining replicas
+        included — their in-flight misses still count against the
+        fleet). The router applies the returned action and records the
+        scale event.
+        """
+        cfg = self.config
+        if now_ms - self._last_check_ms < cfg.check_interval_ms:
+            return None
+        self._last_check_ms = now_ms
+        miss_rate, mean_load = self._signals(replicas)
+        self.last_signals = (miss_rate, mean_load)
+        active = [r for r in replicas if not r.draining]
+        if now_ms - self._last_action_ms < cfg.cooldown_ms:
+            return None
+        if miss_rate > cfg.up_miss or mean_load > cfg.up_load:
+            self._calm_streak = 0
+            if len(active) < cfg.max_replicas:
+                self._last_action_ms = now_ms
+                return ("up", None)
+            return None
+        if miss_rate < cfg.down_miss and mean_load < cfg.down_load:
+            self._calm_streak += 1
+            if (self._calm_streak >= cfg.down_checks
+                    and len(active) > cfg.min_replicas):
+                self._calm_streak = 0
+                self._last_action_ms = now_ms
+                # drain the least-loaded replica: cheapest to finish off
+                victim = min(enumerate(active),
+                             key=lambda p: (p[1].load, p[0]))[1]
+                return ("down", victim)
+            return None
+        # inside the hysteresis band: hold steady
+        self._calm_streak = 0
+        return None

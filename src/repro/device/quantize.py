@@ -12,7 +12,6 @@ evaluate accuracy impact; the latency benefit is modelled by
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 
 import numpy as np
 

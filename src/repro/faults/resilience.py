@@ -110,6 +110,21 @@ class CircuitBreaker:
             return False
         return False                      # half-open: probe in flight
 
+    def would_allow(self, now_ms: float) -> bool:
+        """Side-effect-free availability check (routing, not scheduling).
+
+        Unlike :meth:`allow`, never transitions the state machine: an open
+        breaker past its cooldown reads as available without arming the
+        half-open probe, so a cluster router can poll any number of
+        replicas for health without consuming probe slots. A half-open
+        breaker reads unavailable — its one probe is already in flight.
+        """
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            return now_ms >= self.opened_at_ms + self.cooldown_ms
+        return False
+
     def record_success(self, now_ms: float) -> None:
         """The rung served a batch fine; close from any state."""
         self.consecutive_failures = 0

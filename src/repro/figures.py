@@ -114,6 +114,15 @@ EXPERIMENTS: list[Experiment] = [
         "benchmarks/test_faults_chaos.py",
         ("faults_chaos.txt",)),
     Experiment(
+        "cluster", "Beyond the paper",
+        "Multi-replica scale-out: deadline-aware power-of-two routing "
+        "over 3 replicas sustains >=2x the saturated single replica's "
+        "admitted throughput at <5% misses, and routes around a killed "
+        "replica via the circuit breakers.",
+        ("repro.cluster",),
+        "benchmarks/test_cluster_scaleout.py",
+        ("cluster_scaleout.txt", "cluster_replica_kill.txt")),
+    Experiment(
         "related", "Section II",
         "Related-work positioning vs BranchyNet, Edgent and NetAdapt, "
         "implemented on the same substrates.",

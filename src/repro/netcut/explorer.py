@@ -13,7 +13,6 @@ from __future__ import annotations
 import json
 from dataclasses import asdict, dataclass, field
 
-import numpy as np
 
 from repro.data.synthetic import Dataset
 from repro.device.k20m import TrainingCostModel

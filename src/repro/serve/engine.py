@@ -385,6 +385,105 @@ class Engine:
         return HealthProbe(slow_factor).probe_ladder(self.ladder)
 
     # -- the event loop ------------------------------------------------------
+    def available_rung(self, now_ms: float):
+        """The rung the next batch would target, without side effects.
+
+        The routing-layer counterpart of :meth:`_select_rung`: breaker
+        states are *read*, never advanced (``would_allow``), so a cluster
+        router may probe any number of replicas for latency estimates
+        without consuming half-open probe slots. Returns ``None`` when
+        every usable rung's breaker refuses — the caller should treat the
+        engine as unhealthy rather than schedule against the last-resort
+        fastest-rung fallback.
+        """
+        if not self.config.resilience:
+            return self.ladder.current
+        for i in range(self.ladder.current_index, len(self.ladder)):
+            rung = self.ladder.rungs[i]
+            if self.breakers[rung.name].would_allow(now_ms):
+                return rung
+        return None
+
+    def _serve_step(self, now: float, responses: dict[int, Response]) -> float:
+        """Form, execute and respond to one micro-batch; returns the clock.
+
+        The queue must be non-empty. The returned time is the batch finish
+        (or the failed attempts' cost when the batch was dropped) — the
+        caller's new ``now``.
+        """
+        rung = self._select_rung(now)
+        batch = self.batcher.form(self.queue, now, rung)
+        rung, service_ms, exec_start = self._execute(batch, rung, now)
+        if service_ms is None:
+            # even the fastest rung hard-failed: shed the batch
+            self._drop_batch(batch, exec_start, responses, "rung-failed")
+            return max(now, exec_start)
+        finish = exec_start + service_ms
+        outputs = None
+        if self.config.execute and all(r.x is not None for r in batch):
+            outputs = rung.forward([r.x for r in batch])
+        self.metrics.record_batch(len(batch))
+        if self._emit is not None:
+            # a tuple of ints (unlike a list) leaves the span record
+            # GC-untrackable, keeping collector sweeps off the buffer
+            self._emit("forward", "serve", exec_start, service_ms, None,
+                       {"rung": rung.name, "size": len(batch),
+                        "rids": tuple(r.rid for r in batch)})
+        # one (prediction, observation) pair per executed batch: every
+        # member shares the batch's estimate and measured time, so
+        # feeding it per member would fill the drift window with
+        # duplicates of the same evidence. The executed rung's own
+        # estimate is compared (not the originally selected rung's),
+        # so retries don't masquerade as estimator drift.
+        self._observe_drift(rung.estimate_ms(len(batch)),
+                            service_ms, finish, rung.name)
+        for i, req in enumerate(batch):
+            # start_ms stays the batch-formation time: service_ms and
+            # latency_ms then include cancelled-attempt overhead, so
+            # the controller reacts to what requests actually endured
+            resp = Response(
+                req.rid, COMPLETED, req.arrival_ms, req.abs_deadline_ms,
+                rung=rung.name, start_ms=now, finish_ms=finish,
+                batch_size=len(batch),
+                output=None if outputs is None else outputs[i])
+            responses[req.rid] = resp
+            self.metrics.record_response(resp)
+            if self._emit is not None:
+                self._emit(
+                    "respond", "serve", finish, 0.0, req.rid,
+                    {"latency_ms": resp.latency_ms,
+                     "met": bool(resp.deadline_met)})
+            self._apply_policy(resp.latency_ms, finish)
+        return finish
+
+    def run_until(self, pending: deque, responses: dict[int, Response],
+                  now_ms: float, until_ms: float = float("inf")) -> float:
+        """Advance the admit/batch/execute loop as far as ``until_ms`` allows.
+
+        The steppable core of :meth:`run`, and the hook
+        :class:`repro.cluster.Replica` drives: ``pending`` holds routed
+        requests sorted by arrival, and the loop admits and serves them
+        exactly as the single-node engine would — but never *starts* work
+        at or past ``until_ms``, so an external dispatcher can interleave
+        new arrivals at their true virtual times. Returns the engine
+        clock (the time the last batch finished, or ``now_ms`` untouched
+        when there was nothing to do before the horizon).
+        """
+        now = now_ms
+        while pending or len(self.queue):
+            if not len(self.queue) and pending \
+                    and pending[0].arrival_ms > now:
+                now = pending[0].arrival_ms      # idle until the next arrival
+            if now >= until_ms:
+                break
+            if self.faults is not None:
+                self._tick_faults(now)
+            self._admit(pending, now, responses)
+            if not len(self.queue):
+                continue
+            now = self._serve_step(now, responses)
+        return now
+
     def run(self, trace: list[Request],
             stop_ms: float | None = None) -> list[Response]:
         """Serve a whole trace; returns responses in trace order.
@@ -397,63 +496,8 @@ class Engine:
         """
         responses: dict[int, Response] = {}
         pending = deque(sorted(trace, key=lambda r: (r.arrival_ms, r.rid)))
-        now = 0.0
-        while pending or len(self.queue):
-            if not len(self.queue) and pending \
-                    and pending[0].arrival_ms > now:
-                now = pending[0].arrival_ms      # idle until the next arrival
-            if stop_ms is not None and now >= stop_ms:
-                break
-            if self.faults is not None:
-                self._tick_faults(now)
-            self._admit(pending, now, responses)
-            if not len(self.queue):
-                continue
-            rung = self._select_rung(now)
-            batch = self.batcher.form(self.queue, now, rung)
-            rung, service_ms, exec_start = self._execute(batch, rung, now)
-            if service_ms is None:
-                # even the fastest rung hard-failed: shed the batch
-                self._drop_batch(batch, exec_start, responses, "rung-failed")
-                now = max(now, exec_start)
-                continue
-            finish = exec_start + service_ms
-            outputs = None
-            if self.config.execute and all(r.x is not None for r in batch):
-                outputs = rung.forward([r.x for r in batch])
-            self.metrics.record_batch(len(batch))
-            if self._emit is not None:
-                # a tuple of ints (unlike a list) leaves the span record
-                # GC-untrackable, keeping collector sweeps off the buffer
-                self._emit("forward", "serve", exec_start, service_ms, None,
-                           {"rung": rung.name, "size": len(batch),
-                            "rids": tuple(r.rid for r in batch)})
-            # one (prediction, observation) pair per executed batch: every
-            # member shares the batch's estimate and measured time, so
-            # feeding it per member would fill the drift window with
-            # duplicates of the same evidence. The executed rung's own
-            # estimate is compared (not the originally selected rung's),
-            # so retries don't masquerade as estimator drift.
-            self._observe_drift(rung.estimate_ms(len(batch)),
-                                service_ms, finish, rung.name)
-            for i, req in enumerate(batch):
-                # start_ms stays the batch-formation time: service_ms and
-                # latency_ms then include cancelled-attempt overhead, so
-                # the controller reacts to what requests actually endured
-                resp = Response(
-                    req.rid, COMPLETED, req.arrival_ms, req.abs_deadline_ms,
-                    rung=rung.name, start_ms=now, finish_ms=finish,
-                    batch_size=len(batch),
-                    output=None if outputs is None else outputs[i])
-                responses[req.rid] = resp
-                self.metrics.record_response(resp)
-                if self._emit is not None:
-                    self._emit(
-                        "respond", "serve", finish, 0.0, req.rid,
-                        {"latency_ms": resp.latency_ms,
-                         "met": bool(resp.deadline_met)})
-                self._apply_policy(resp.latency_ms, finish)
-            now = finish
+        until = float("inf") if stop_ms is None else stop_ms
+        now = self.run_until(pending, responses, 0.0, until)
         for resp in self.drain(now):
             responses[resp.rid] = resp
         return [responses[r.rid] for r in trace if r.rid in responses]

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import copy
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["Counter", "LatencyHistogram", "ServerMetrics"]
 
@@ -68,6 +68,23 @@ class LatencyHistogram:
     @property
     def mean_ms(self) -> float:
         return self.total_ms / self.count if self.count else float("nan")
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold another histogram's samples into this one (cluster roll-up).
+
+        Bin-exact because both histograms share the log-spaced layout;
+        histograms with different bounds or resolutions cannot be merged
+        without re-binning, so that is rejected.
+        """
+        if (other.lo_ms, other.hi_ms, other.n_bins) != \
+                (self.lo_ms, self.hi_ms, self.n_bins):
+            raise ValueError("cannot merge histograms with different bins")
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.count += other.count
+        self.total_ms += other.total_ms
+        self.min_ms = min(self.min_ms, other.min_ms)
+        self.max_ms = max(self.max_ms, other.max_ms)
 
     def quantile(self, q: float) -> float:
         """Approximate q-quantile (q in [0, 1]) in milliseconds.

@@ -11,7 +11,6 @@ from repro.nn import (
     BatchNorm,
     Conv2D,
     Dense,
-    DepthwiseConv2D,
     GlobalAvgPool,
     MaxPool2D,
     Network,

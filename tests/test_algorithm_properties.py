@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.netcut import run_netcut
-from repro.trim import build_trn, enumerate_blockwise
+from repro.trim import build_trn
 
 from conftest import make_tiny_net
 

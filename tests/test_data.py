@@ -10,7 +10,6 @@ from repro.data import (
     SHAPE_FAMILIES,
     SYNTH_IMAGENET_CLASSES,
     TEXTURES,
-    Dataset,
     ObjectParams,
     grasp_affinities,
     grasp_distribution,

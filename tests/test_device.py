@@ -1,6 +1,5 @@
 """Tests for the device substrate: fusion, latency model, runtime, profiler."""
 
-import numpy as np
 import pytest
 
 from repro.device import (
@@ -14,9 +13,8 @@ from repro.device import (
     sample_runs,
     xavier,
 )
-from repro.nn import BatchNorm, Conv2D, Dense, GlobalAvgPool, Network, ReLU
+from repro.nn import BatchNorm, Conv2D, Network, ReLU
 
-from conftest import make_tiny_net
 
 
 class TestFusion:

@@ -3,7 +3,6 @@
 import os
 import re
 
-import pytest
 
 REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 

@@ -6,7 +6,7 @@ import pytest
 from repro.data import Dataset, make_hands_dataset
 from repro.device import DeviceSpec, measure_latency, network_latency
 from repro.estimators import SVR, LinearRegression
-from repro.nn import Conv2D, Dense, GlobalAvgPool, Network, ReLU
+from repro.nn import Dense, Network
 from repro.trim import build_trn, enumerate_blockwise
 
 from conftest import make_tiny_net

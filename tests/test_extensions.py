@@ -6,10 +6,8 @@ import pytest
 from repro.data import make_hands_dataset
 from repro.device.latency import network_latency
 from repro.extensions import NetAdaptConfig, build_branchy, run_netadapt
-from repro.extensions.branchynet import BranchyNetwork, Exit
+from repro.extensions.branchynet import BranchyNetwork
 from repro.extensions.netadapt import prune_output_channels
-from repro.nn import Conv2D
-from repro.train import build_head_network
 from repro.zoo import build_mobilenet_v1
 
 from test_train import make_tiny_net32

@@ -1,9 +1,8 @@
 """Tests for the public gradient-checking utility."""
 
 import numpy as np
-import pytest
 
-from repro.nn import Conv2D, Dense, Parameter
+from repro.nn import Conv2D, Dense
 from repro.nn.gradcheck import check_layer, check_network
 from repro.nn.losses import softmax_cross_entropy
 

@@ -15,7 +15,6 @@ from repro.nn import (
     Flatten,
     GlobalAvgPool,
     MaxPool2D,
-    ReLU,
     ReLU6,
     Softmax,
 )

@@ -5,7 +5,6 @@ import pytest
 from repro.netcut import MarginAdapter, run_netcut, violation_rate
 from repro.netcut.algorithm import NetCutCandidate, NetCutResult
 
-from conftest import make_tiny_net
 from test_netcut import FixedEstimator, dummy_retrain
 
 

@@ -1,14 +1,11 @@
 """Tests for DOT export, device profiles and serialization properties."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.device import DEVICE_PROFILES, agx_boosted, nano, network_latency, xavier
 from repro.nn.serialize import load_network, save_network
 
-from conftest import make_tiny_net
 from test_properties import chain_networks
 
 

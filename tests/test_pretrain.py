@@ -3,7 +3,6 @@
 import os
 
 import numpy as np
-import pytest
 
 from repro.train import PretrainConfig, get_pretrained, pretrain, recipe_for
 from repro.zoo import build_network

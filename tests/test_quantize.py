@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.device import QuantizedNetwork, calibration_split, quantize_tensor
-from repro.nn import Conv2D, Dense
+from repro.nn import Conv2D
 
 
 class TestQuantizeTensor:

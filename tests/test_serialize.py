@@ -8,7 +8,6 @@ from repro.nn.serialize import architecture_dict, load_network, save_network
 from repro.trim import build_trn
 from repro.zoo import build_network
 
-from conftest import make_tiny_net
 
 
 class TestArchitectureDict:

@@ -16,7 +16,6 @@ from repro.train import (
 )
 from repro.trim import build_trn
 
-from conftest import make_tiny_net
 
 
 @pytest.fixture(scope="module")

@@ -1,7 +1,6 @@
 """Training-dynamics tests: schedules, dropout, branched backprop."""
 
 import numpy as np
-import pytest
 
 from repro.nn import (
     Adam,

@@ -15,7 +15,6 @@ from repro.trim import (
     trn_node_count,
 )
 
-from conftest import make_tiny_net
 
 
 class TestBlockBoundaries:

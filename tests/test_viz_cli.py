@@ -1,6 +1,5 @@
 """Tests for the terminal visualiser and the CLI."""
 
-import numpy as np
 import pytest
 
 from repro.viz import curve, scatter
