@@ -5,9 +5,9 @@
 # The figure-reproduction benchmarks rebuild the pretrained zoo and the
 # 148-TRN exploration — minutes of work with tight tolerances — so they
 # stay out of the smoke run; this covers the serve, cluster, obs and
-# faults benchmarks, all seeded and wall-clock-independent, then emits
-# BENCH_serve.json at the repo root so the perf trajectory accumulates
-# commit over commit.
+# faults and workload benchmarks, all seeded and wall-clock-independent,
+# then emits BENCH_serve.json and BENCH_workload.json at the repo root so
+# the perf trajectory accumulates commit over commit.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -17,6 +17,8 @@ PYTHONHASHSEED=random PYTHONPATH=src python -m pytest \
     benchmarks/test_cluster_scaleout.py \
     benchmarks/test_obs_overhead.py \
     benchmarks/test_faults_chaos.py \
+    benchmarks/test_workload_slo.py \
     -q --benchmark-disable "$@"
 
 PYTHONPATH=src python scripts/bench_serve.py
+PYTHONPATH=src python scripts/bench_workload.py

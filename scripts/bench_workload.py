@@ -1,0 +1,145 @@
+"""Emit the workload-layer perf trajectory as machine-readable JSON.
+
+Runs the canonical multi-tenant scenario (the same seeded diurnal plus
+flash-crowd overload as benchmarks/test_workload_slo.py) and writes
+``BENCH_workload.json`` at the repo root: per-tenant admitted throughput
+and deadline-miss rate under plain EDF admission and under weighted-fair
+admission, plus the fluid model's cross-validation error against the
+discrete simulator. Everything is virtual-time and seeded, so two
+commits produce different JSON only when workload behaviour changed.
+
+Run via scripts/bench.sh, or directly:
+
+    PYTHONPATH=src python scripts/bench_workload.py
+"""
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src"))
+
+from repro.cluster import (  # noqa: E402
+    Router,
+    homogeneous_replicas,
+    make_policy,
+)
+from repro.device import xavier  # noqa: E402
+from repro.serve import Server, ServerConfig, TRNLadder  # noqa: E402
+from repro.workload import (  # noqa: E402
+    DiurnalCycle,
+    FlashCrowd,
+    FluidModel,
+    Superposition,
+    TenantClass,
+    TenantMix,
+    WeightedFairAdmission,
+    generate_trace,
+)
+from repro.zoo import build_network  # noqa: E402
+
+HORIZON_MS = 300.0
+SEED = 0
+
+CONFIG_KWARGS = dict(deadline_ms=3.0, execute=False, seed=SEED,
+                     queue_capacity=64, adaptive=False, window=16,
+                     min_observations=8, cooldown=8)
+
+
+def make_mix() -> TenantMix:
+    return TenantMix([
+        TenantClass("interactive", deadline_ms=3.0, weight=3.0,
+                    share=0.10, priority=1),
+        TenantClass("batch", deadline_ms=12.0, weight=1.0,
+                    share=0.90, priority=0),
+    ])
+
+
+def make_scenario() -> Superposition:
+    return Superposition(
+        DiurnalCycle(3000, amplitude=0.3, period_ms=HORIZON_MS),
+        FlashCrowd(1000, peak_multiplier=8.0, start_ms=0.3 * HORIZON_MS,
+                   ramp_ms=0.05 * HORIZON_MS, hold_ms=0.25 * HORIZON_MS,
+                   decay_ms=0.1 * HORIZON_MS))
+
+
+def per_tenant(result) -> dict:
+    snap = result.metrics.snapshot()
+    out = {}
+    for name, b in snap["tenants"].items():
+        out[name] = {
+            "admitted_rps": round(b["admitted"] * 1e3 / HORIZON_MS, 1),
+            "rejected": b["rejected"],
+            "miss_rate": round(b["miss_rate"], 6),
+        }
+    return out
+
+
+def main() -> None:
+    base = build_network("mobilenet_v1_0.5").build(0)
+    ladder = TRNLadder.from_base(base, xavier(), num_classes=5, max_rungs=6)
+    mix = make_mix()
+    process = make_scenario()
+    trace = generate_trace(process, HORIZON_MS, tenants=mix, rng=SEED)
+
+    plain = Server(ladder, ServerConfig(**CONFIG_KWARGS)).run_trace(trace)
+    policy = WeightedFairAdmission(mix, watermark=0.25)
+    fair_config = ServerConfig(admission_policy=policy, **CONFIG_KWARGS)
+    fair = Server(ladder, fair_config).run_trace(trace)
+
+    # fluid cross-validation on the single-class 3-replica fleet
+    config = ServerConfig(**CONFIG_KWARGS)
+    flat = generate_trace(process, HORIZON_MS, deadline_ms=3.0, rng=1)
+    replicas = homogeneous_replicas(base, xavier(), 3, config,
+                                    num_classes=5, max_rungs=6)
+    discrete = Router(replicas, make_policy("round-robin", SEED)).run(flat)
+    d_admit = discrete.metrics.aggregate().counters["admitted"].value \
+        * 1e3 / HORIZON_MS
+    pred = FluidModel.from_ladder(ladder, config).solve(
+        process, HORIZON_MS, replicas=3)
+
+    payload = {
+        "benchmark": "workload-multi-tenant-slo",
+        "scenario": {
+            "network": "mobilenet_v1_0.5",
+            "device": "xavier",
+            "workload": process.describe(),
+            "requests": len(trace),
+            "horizon_ms": HORIZON_MS,
+            "tenants": {t.name: {"deadline_ms": t.deadline_ms,
+                                 "weight": t.weight,
+                                 "share": round(float(s), 4)}
+                        for t, s in zip(mix.tenants, mix.shares)},
+            "watermark": 0.25,
+            "seed": SEED,
+        },
+        "results": {
+            "plain_edf": per_tenant(plain),
+            "weighted_fair": per_tenant(fair),
+        },
+        "fluid_validation": {
+            "replicas": 3,
+            "discrete_admitted_rps": round(d_admit, 1),
+            "fluid_admitted_rps": round(pred.admitted_rps, 1),
+            "discrete_miss_rate": round(discrete.miss_rate, 6),
+            "fluid_miss_rate": round(pred.miss_rate, 6),
+            "admitted_rel_error": round(
+                abs(pred.admitted_rps - d_admit) / d_admit, 4),
+            "miss_rel_error": round(
+                abs(pred.miss_rate - discrete.miss_rate)
+                / discrete.miss_rate, 4),
+        },
+    }
+
+    out = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "BENCH_workload.json")
+    with open(out, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {out}")
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+
+if __name__ == "__main__":
+    main()

@@ -374,6 +374,113 @@ def cmd_faults(args) -> int:
     return 0
 
 
+def _workload_ladder(args):
+    """Ladder + pinned-rung ServerConfig shared by the workload verbs."""
+    from repro.device import xavier
+    from repro.serve import ServerConfig, TRNLadder
+    from repro.zoo import build_network
+
+    base = build_network(_resolve_net(args.net)).build(0)
+    ladder = TRNLadder.from_base(base, xavier(), num_classes=5,
+                                 max_rungs=args.max_rungs)
+    config = ServerConfig(deadline_ms=args.deadline_ms, execute=False,
+                          adaptive=not args.no_ladder, seed=args.seed,
+                          queue_capacity=args.queue_capacity)
+    return ladder, config
+
+
+def cmd_workload(args) -> int:
+    """Production traffic: generate/record, replay, or fluid-predict.
+
+    ``generate`` samples a named workload shape (diurnal, flash crowd,
+    MMPP, superpositions) into a request trace — multi-tenant when
+    ``--tenants`` is given — serves it, and optionally records the run to
+    a versioned JSONL file. ``replay`` re-serves a recorded trace and
+    verifies the outcomes byte-for-byte against what was recorded.
+    ``fluid`` skips the event loop entirely: the analytical model
+    predicts per-tenant admitted throughput and miss rate per rung, or
+    sweeps fleet sizes / plans the smallest fleet for a miss target.
+    """
+    import repro.workload as wl
+    from dataclasses import replace
+    from repro.serve import Server
+
+    ladder, config = _workload_ladder(args)
+    mix = wl.default_tenants() if args.tenants else None
+    policy = None
+    if args.fair:
+        if mix is None:
+            raise SystemExit("--fair needs --tenants (weighted-fair "
+                             "admission is per-tenant)")
+        policy = wl.WeightedFairAdmission(mix, watermark=args.watermark)
+        config = replace(config, admission_policy=policy)
+
+    if args.workload_cmd == "replay":
+        recorded = wl.load_trace(args.path)
+        print(f"loaded {args.path}: {recorded.describe()}")
+        result = Server(ladder, config).run_trace(recorded.requests)
+        print("\n" + result.metrics.report())
+        if recorded.outcomes:
+            problems = wl.verify_replay(recorded, result.responses)
+            if problems:
+                print(f"\nreplay DIVERGED from the recording "
+                      f"({len(problems)} outcomes differ):")
+                for line in problems[:10]:
+                    print(f"  {line}")
+                return 1
+            print(f"\nreplay reproduced all {len(recorded.outcomes)} "
+                  "recorded outcomes exactly")
+        return 0
+
+    process = wl.make_process(args.kind, args.base_rate, args.horizon_ms)
+    print(f"workload: {process.describe()} over {args.horizon_ms:.0f} ms")
+    if mix is not None:
+        print("tenants:\n" + mix.describe())
+
+    if args.workload_cmd == "generate":
+        trace = wl.generate_trace(process, args.horizon_ms,
+                                  deadline_ms=args.deadline_ms,
+                                  tenants=mix, rng=args.seed)
+        rate = len(trace) * 1e3 / args.horizon_ms
+        print(f"sampled {len(trace)} requests ({rate:,.0f} rps offered)")
+        result = Server(ladder, config).run_trace(trace)
+        print("\n" + result.metrics.report())
+        if args.out:
+            wl.record_run(args.out, trace, result.responses,
+                          meta={"kind": args.kind, "seed": args.seed,
+                                "horizon_ms": args.horizon_ms,
+                                "net": args.net})
+            print(f"\nrecorded run -> {args.out}")
+        return 0
+
+    # fluid: analytical predictions, no event loop
+    fluid = wl.FluidModel.from_ladder(ladder, config, tenants=mix)
+    if args.plan_miss is not None:
+        n = fluid.plan_fleet(process, args.horizon_ms, args.plan_miss,
+                             rung=ladder.rungs[args.rung].name)
+        if n is None:
+            print(f"no fleet up to 256 replicas holds miss rate "
+                  f"<= {args.plan_miss:.2%}")
+            return 1
+        print(f"smallest fleet with every tenant at miss rate "
+              f"<= {args.plan_miss:.2%}: {n} replica(s)")
+        print(fluid.solve(process, args.horizon_ms, replicas=n,
+                          rung=ladder.rungs[args.rung].name).report())
+    elif args.replicas_sweep:
+        counts = [int(x) for x in args.replicas_sweep.split(",")]
+        preds = fluid.sweep(process, args.horizon_ms, counts,
+                            rung=ladder.rungs[args.rung].name)
+        for n, pred in preds.items():
+            print(f"\n-- {n} replica(s) --")
+            print(pred.report())
+    else:
+        for name, pred in fluid.solve_ladder(process, args.horizon_ms,
+                                             replicas=args.replicas).items():
+            print(f"\n-- rung {name} --")
+            print(pred.report())
+    return 0
+
+
 def cmd_cluster(args) -> int:
     """Route a request trace across a fleet of serving replicas.
 
@@ -588,6 +695,69 @@ def build_parser() -> argparse.ArgumentParser:
                         "(rung-failure scenario; enables resilience)")
     p.add_argument("--seed", type=int, default=0)
 
+    from repro.workload import WORKLOAD_KINDS
+
+    p = sub.add_parser("workload",
+                       help="production traffic: generate, replay, fluid")
+    wsub = p.add_subparsers(dest="workload_cmd", required=True)
+
+    def _workload_common(wp, with_process=True):
+        wp.add_argument("--net", default="mobilenet_v1_0.5",
+                        help="zoo network (exact name, prefix, substring)")
+        wp.add_argument("--deadline-ms", type=float, default=3.0,
+                        dest="deadline_ms",
+                        help="deadline for untagged (single-class) traffic")
+        wp.add_argument("--max-rungs", type=int, default=6,
+                        dest="max_rungs")
+        wp.add_argument("--queue-capacity", type=int, default=64,
+                        dest="queue_capacity")
+        wp.add_argument("--no-ladder", action="store_true",
+                        dest="no_ladder",
+                        help="pin the full TRN (disable degradation)")
+        wp.add_argument("--tenants", action="store_true",
+                        help="two-class interactive/batch tenant mix")
+        wp.add_argument("--fair", action="store_true",
+                        help="weighted-fair admission (needs --tenants)")
+        wp.add_argument("--watermark", type=float, default=0.25,
+                        help="queue fill fraction where fair shares bind")
+        wp.add_argument("--seed", type=int, default=0)
+        if with_process:
+            wp.add_argument("--kind", default="diurnal-flash",
+                            choices=list(WORKLOAD_KINDS),
+                            help="workload shape")
+            wp.add_argument("--base-rate", type=float, default=4000.0,
+                            dest="base_rate",
+                            help="base arrival rate in requests/s")
+            wp.add_argument("--horizon-ms", type=float, default=300.0,
+                            dest="horizon_ms")
+
+    wp = wsub.add_parser("generate",
+                         help="sample a workload, serve it, record the run")
+    _workload_common(wp)
+    wp.add_argument("--out", default=None, metavar="PATH",
+                    help="record requests + outcomes as versioned JSONL")
+
+    wp = wsub.add_parser("replay",
+                         help="re-serve a recorded trace and verify it")
+    _workload_common(wp, with_process=False)
+    wp.add_argument("path", help="JSONL trace written by generate")
+
+    wp = wsub.add_parser("fluid",
+                         help="analytical throughput/miss predictions")
+    _workload_common(wp)
+    wp.add_argument("--replicas", type=int, default=1,
+                    help="fleet size for the per-rung predictions")
+    wp.add_argument("--rung", type=int, default=0,
+                    help="rung index for --sweep/--plan-miss (0 = most "
+                         "accurate)")
+    wp.add_argument("--sweep", default=None, dest="replicas_sweep",
+                    metavar="N,N,...",
+                    help="comma-separated fleet sizes to sweep")
+    wp.add_argument("--plan-miss", type=float, default=None,
+                    dest="plan_miss", metavar="RATE",
+                    help="plan the smallest fleet with every tenant at "
+                         "or under this miss rate")
+
     p = sub.add_parser("profile",
                        help="per-layer latency table via forward hooks")
     p.add_argument("--net", default="mobilenet_v1_0.5",
@@ -640,6 +810,7 @@ _COMMANDS = {
     "trace": cmd_trace,
     "faults": cmd_faults,
     "cluster": cmd_cluster,
+    "workload": cmd_workload,
 }
 
 

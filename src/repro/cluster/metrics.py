@@ -91,6 +91,7 @@ class ClusterMetrics:
             total.batch_occupancy_sum += m.batch_occupancy_sum
             for rung, n in m.per_rung.items():
                 total.per_rung[rung] = total.per_rung.get(rung, 0) + n
+            total.merge_tenants(m.tenants)
             total.events.extend(m.events)
         total.events.sort(key=lambda e: e.time_ms)
         return total

@@ -126,7 +126,7 @@ class Router:
                 # drop-not-crash: nothing can take the request
                 cluster_rejects[req.rid] = Response(
                     req.rid, REJECTED, req.arrival_ms, req.abs_deadline_ms,
-                    reject_reason="no-replica")
+                    reject_reason="no-replica", tenant=req.tenant)
                 self.metrics.record_no_replica()
                 if self.tracer is not None:
                     self.tracer.instant("drop", "cluster", now, rid=req.rid,

@@ -51,6 +51,7 @@ class ServerConfig:
     max_batch: int = 8
     batch_slack_ms: float = 0.0       # safety margin for estimator error
     admission_control: bool = True
+    admission_policy: object | None = None  # e.g. WeightedFairAdmission
     adaptive: bool = True             # TRN-ladder degradation on/off
     window: int = 32                  # controller sliding window (requests)
     min_observations: int = 16
@@ -122,6 +123,12 @@ class Engine:
             upgrade_cooldown=config.upgrade_cooldown)
             if config.adaptive else None)
         self._arrivals: deque[float] = deque(maxlen=config.rate_window)
+        self.admission_policy = config.admission_policy
+        if self.admission_policy is not None:
+            # fresh share window: a policy object may be reused across
+            # runs (and across a cluster's replicas), but each engine's
+            # admissions must start from a clean slate
+            self.admission_policy.reset()
         ladder.reseed(config.seed)
         if config.warm_start:
             for rung in ladder.rungs:
@@ -140,13 +147,18 @@ class Engine:
                responses: dict[int, Response]) -> None:
         while pending and pending[0].arrival_ms <= now_ms:
             req: Request = pending.popleft()
-            self.metrics.record_arrival()
+            self.metrics.record_arrival(req.tenant)
             self._arrivals.append(req.arrival_ms)
             reason = None
             if self.config.admission_control:
                 start = max(now_ms, req.arrival_ms)
                 if start + self._admission_estimate_ms() > req.abs_deadline_ms:
                     reason = "unmeetable-deadline"
+            if (reason is None and self.admission_policy is not None
+                    and not self.admission_policy.allow(
+                        req, len(self.queue), self.queue.capacity)):
+                # over its weighted-fair share while the queue is contended
+                reason = "tenant-over-share"
             if (reason is None and self.faults is not None
                     and len(self.queue) >=
                     self.faults.effective_capacity(self.queue.capacity)):
@@ -155,17 +167,23 @@ class Engine:
             if reason is None and not self.queue.push(req, now_ms=now_ms):
                 reason = "queue-full"
             if reason is None:
-                self.metrics.record_admission()
+                self.metrics.record_admission(req.tenant)
+                if self.admission_policy is not None:
+                    self.admission_policy.record(req)
                 if self._emit is not None:
-                    self._emit("admit", "serve", now_ms, 0.0, req.rid, None)
+                    self._emit("admit", "serve", now_ms, 0.0, req.rid,
+                               None if req.tenant is None
+                               else {"tenant": req.tenant})
             else:
                 responses[req.rid] = Response(
                     req.rid, REJECTED, req.arrival_ms, req.abs_deadline_ms,
-                    reject_reason=reason)
-                self.metrics.record_rejection()
+                    reject_reason=reason, tenant=req.tenant)
+                self.metrics.record_rejection(req.tenant)
                 if self._emit is not None:
-                    self._emit("drop", "serve", now_ms, 0.0,
-                               req.rid, {"reason": reason})
+                    args = {"reason": reason}
+                    if req.tenant is not None:
+                        args["tenant"] = req.tenant
+                    self._emit("drop", "serve", now_ms, 0.0, req.rid, args)
 
     # -- ladder control ------------------------------------------------------
     def _recent_rate_per_ms(self) -> float | None:
@@ -350,8 +368,8 @@ class Engine:
         for req in batch:
             responses[req.rid] = Response(
                 req.rid, DROPPED, req.arrival_ms, req.abs_deadline_ms,
-                reject_reason=reason)
-            self.metrics.record_drop()
+                reject_reason=reason, tenant=req.tenant)
+            self.metrics.record_drop(req.tenant)
             if self._emit is not None:
                 self._emit("drop", "serve", now_ms, 0.0, req.rid,
                            {"reason": reason})
@@ -367,8 +385,9 @@ class Engine:
         dropped = []
         for req in self.queue.drain():
             resp = Response(req.rid, DROPPED, req.arrival_ms,
-                            req.abs_deadline_ms, reject_reason="drained")
-            self.metrics.record_drop()
+                            req.abs_deadline_ms, reject_reason="drained",
+                            tenant=req.tenant)
+            self.metrics.record_drop(req.tenant)
             if self._emit is not None:
                 self._emit("drop", "serve", now_ms, 0.0, req.rid,
                            {"reason": "drained"})
@@ -445,14 +464,16 @@ class Engine:
                 req.rid, COMPLETED, req.arrival_ms, req.abs_deadline_ms,
                 rung=rung.name, start_ms=now, finish_ms=finish,
                 batch_size=len(batch),
-                output=None if outputs is None else outputs[i])
+                output=None if outputs is None else outputs[i],
+                tenant=req.tenant)
             responses[req.rid] = resp
             self.metrics.record_response(resp)
             if self._emit is not None:
-                self._emit(
-                    "respond", "serve", finish, 0.0, req.rid,
-                    {"latency_ms": resp.latency_ms,
-                     "met": bool(resp.deadline_met)})
+                args = {"latency_ms": resp.latency_ms,
+                        "met": bool(resp.deadline_met)}
+                if req.tenant is not None:
+                    args["tenant"] = req.tenant
+                self._emit("respond", "serve", finish, 0.0, req.rid, args)
             self._apply_policy(resp.latency_ms, finish)
         return finish
 

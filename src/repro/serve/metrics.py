@@ -138,12 +138,23 @@ class DegradationEvent:
 
 
 class ServerMetrics:
-    """All counters and histograms of one serving run."""
+    """All counters and histograms of one serving run.
+
+    Untagged (single-class) traffic populates only the run-wide counters;
+    requests carrying a ``tenant`` additionally feed a per-tenant
+    breakdown (arrivals, admissions, rejections, completions, misses,
+    drops and a latency sum) surfaced under ``snapshot()["tenants"]`` —
+    the observability needed to tell *whose* deadline a busy server is
+    sacrificing.
+    """
 
     COUNTERS = ("arrived", "admitted", "rejected", "completed",
                 "deadline_miss", "batches", "degrade_events",
                 "upgrade_events", "dropped", "timeouts", "retries",
                 "breaker_opens", "breaker_closes", "fault_events")
+
+    TENANT_COUNTERS = ("arrived", "admitted", "rejected", "completed",
+                       "deadline_miss", "dropped")
 
     def __init__(self, deadline_ms: float):
         self.deadline_ms = deadline_ms
@@ -153,25 +164,40 @@ class ServerMetrics:
         self.service = LatencyHistogram()
         self.batch_occupancy_sum = 0
         self.per_rung: dict[str, int] = {}
+        self.tenants: dict[str, dict] = {}
         self.events: list[DegradationEvent] = []
 
+    def _tenant(self, tenant: str) -> dict:
+        if tenant not in self.tenants:
+            self.tenants[tenant] = dict.fromkeys(self.TENANT_COUNTERS, 0)
+            self.tenants[tenant]["latency_sum_ms"] = 0.0
+        return self.tenants[tenant]
+
     # -- recording ----------------------------------------------------------
-    def record_arrival(self) -> None:
+    def record_arrival(self, tenant: str | None = None) -> None:
         self.counters["arrived"].increment()
+        if tenant is not None:
+            self._tenant(tenant)["arrived"] += 1
 
-    def record_rejection(self) -> None:
+    def record_rejection(self, tenant: str | None = None) -> None:
         self.counters["rejected"].increment()
+        if tenant is not None:
+            self._tenant(tenant)["rejected"] += 1
 
-    def record_admission(self) -> None:
+    def record_admission(self, tenant: str | None = None) -> None:
         self.counters["admitted"].increment()
+        if tenant is not None:
+            self._tenant(tenant)["admitted"] += 1
 
     def record_batch(self, size: int) -> None:
         self.counters["batches"].increment()
         self.batch_occupancy_sum += size
 
-    def record_drop(self) -> None:
+    def record_drop(self, tenant: str | None = None) -> None:
         """One admitted request dropped un-executed (drain or dead rungs)."""
         self.counters["dropped"].increment()
+        if tenant is not None:
+            self._tenant(tenant)["dropped"] += 1
 
     def record_timeout(self) -> None:
         """One batch execution cancelled at its timeout."""
@@ -203,6 +229,12 @@ class ServerMetrics:
         if response.rung is not None:
             self.per_rung[response.rung] = \
                 self.per_rung.get(response.rung, 0) + 1
+        if response.tenant is not None:
+            bucket = self._tenant(response.tenant)
+            bucket["completed"] += 1
+            bucket["latency_sum_ms"] += response.latency_ms
+            if not response.deadline_met:
+                bucket["deadline_miss"] += 1
 
     def record_transition(self, time_ms: float, direction: str,
                           from_rung: str, to_rung: str) -> None:
@@ -224,6 +256,20 @@ class ServerMetrics:
         batches = self.counters["batches"].value
         return self.batch_occupancy_sum / batches if batches else float("nan")
 
+    def tenant_miss_rate(self, tenant: str) -> float:
+        """Deadline misses of one tenant as a fraction of its completions."""
+        bucket = self.tenants.get(tenant)
+        if not bucket or not bucket["completed"]:
+            return 0.0
+        return bucket["deadline_miss"] / bucket["completed"]
+
+    def merge_tenants(self, other: dict[str, dict]) -> None:
+        """Fold another run's per-tenant breakdown in (cluster roll-up)."""
+        for name, bucket in other.items():
+            mine = self._tenant(name)
+            for key, value in bucket.items():
+                mine[key] = mine.get(key, 0) + value
+
     def snapshot(self) -> dict:
         """The whole metrics surface as one JSON-able dict.
 
@@ -240,6 +286,11 @@ class ServerMetrics:
             "queue_wait": self.queue_wait.snapshot(),
             "service": self.service.snapshot(),
             "per_rung": dict(self.per_rung),
+            "tenants": {
+                name: dict(bucket, miss_rate=(
+                    bucket["deadline_miss"] / bucket["completed"]
+                    if bucket["completed"] else 0.0))
+                for name, bucket in sorted(self.tenants.items())},
             "transitions": [(e.time_ms, e.direction, e.from_rung, e.to_rung)
                             for e in self.events],
         })
@@ -273,4 +324,12 @@ class ServerMetrics:
             served = ", ".join(f"{name}: {n}"
                                for name, n in snap["per_rung"].items())
             lines.append(f"served by: {served}")
+        for name, b in snap["tenants"].items():
+            mean = (b["latency_sum_ms"] / b["completed"]
+                    if b["completed"] else float("nan"))
+            lines.append(
+                f"tenant {name}: {b['arrived']} arrived, "
+                f"{b['admitted']} admitted, {b['rejected']} rejected, "
+                f"{b['completed']} completed; miss rate "
+                f"{100 * b['miss_rate']:.2f}%, mean latency {mean:.3f} ms")
         return "\n".join(lines)

@@ -31,13 +31,16 @@ class Request:
     ``x`` is a single un-batched sample (shape equal to the network input
     shape) or ``None`` when the server runs in timing-only mode.
     ``deadline_ms`` is the *relative* latency budget; the absolute deadline
-    is ``arrival_ms + deadline_ms``.
+    is ``arrival_ms + deadline_ms``. ``tenant`` names the request class
+    (see :mod:`repro.workload.tenancy`); ``None`` means untagged
+    single-class traffic, which every policy treats as before.
     """
 
     rid: int
     arrival_ms: float
     deadline_ms: float
     x: np.ndarray | None = None
+    tenant: str | None = None
 
     @property
     def abs_deadline_ms(self) -> float:
@@ -59,6 +62,7 @@ class Response:
     batch_size: int = 0
     output: np.ndarray | None = None
     reject_reason: str | None = None
+    tenant: str | None = None
     extras: dict = field(default_factory=dict)
 
     @property

@@ -1,91 +1,20 @@
-"""Synthetic request traces for the serving simulator.
+"""Deprecated location: trace makers moved to :mod:`repro.workload`.
 
-A trace is just a list of :class:`~repro.serve.request.Request`s sorted by
-arrival time. Arrivals are Poisson by default (exponential inter-arrival
-times — the standard open-loop traffic model) with an optional burst
-multiplier over a window, which is how the tests create the overload phase
-that forces the ladder to degrade. Payloads are rendered with the
-repository's synthetic object renderer (:mod:`repro.data.synthetic`) so a
-served request carries a real image of a graspable object; rendering can be
-skipped for timing-only runs.
+``poisson_trace``, ``uniform_trace`` and ``offered_load`` now live in
+:mod:`repro.workload.generators`, alongside the composable arrival
+processes (diurnal cycles, flash crowds, MMPPs) they grew into — one
+traffic module instead of two. They are re-exported here unchanged
+(same signatures, same seeded draw order, byte-identical traces), so
+existing imports keep working; new code should import from
+``repro.workload``.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.data.synthetic import render_object, sample_object
-
-from .request import Request
+from repro.workload.generators import (   # noqa: F401
+    offered_load,
+    poisson_trace,
+    uniform_trace,
+)
 
 __all__ = ["poisson_trace", "uniform_trace", "offered_load"]
-
-
-def _payloads(n: int, image_size: int, rng: np.random.Generator,
-              render: bool) -> list:
-    if not render:
-        return [None] * n
-    return [render_object(sample_object(rng), size=image_size, rng=rng)
-            for _ in range(n)]
-
-
-def poisson_trace(n: int, rate_rps: float, deadline_ms: float,
-                  rng: np.random.Generator | int = 0,
-                  image_size: int = 32, render: bool = False,
-                  burst: tuple[float, float, float] | None = None
-                  ) -> list[Request]:
-    """``n`` Poisson arrivals at ``rate_rps`` requests/second.
-
-    ``burst=(start_frac, end_frac, multiplier)`` scales the arrival rate by
-    ``multiplier`` for the requests whose *index* falls in the given
-    fraction of the trace — e.g. ``(0.3, 0.7, 4.0)`` makes the middle 40%
-    of requests arrive 4x faster, a load spike the ladder must absorb.
-    """
-    if rate_rps <= 0:
-        raise ValueError("rate_rps must be positive")
-    if isinstance(rng, (int, np.integer)):
-        rng = np.random.default_rng(int(rng))
-    mean_gap_ms = 1e3 / rate_rps
-    gaps = rng.exponential(mean_gap_ms, size=n)
-    if burst is not None:
-        lo, hi, mult = burst
-        if mult <= 0:
-            raise ValueError("burst multiplier must be positive")
-        idx = np.arange(n)
-        in_burst = (idx >= lo * n) & (idx < hi * n)
-        gaps[in_burst] /= mult
-    arrivals = np.cumsum(gaps)
-    xs = _payloads(n, image_size, rng, render)
-    return [Request(rid=i, arrival_ms=float(arrivals[i]),
-                    deadline_ms=deadline_ms, x=xs[i])
-            for i in range(n)]
-
-
-def uniform_trace(n: int, rate_rps: float, deadline_ms: float,
-                  rng: np.random.Generator | int = 0,
-                  image_size: int = 32, render: bool = False
-                  ) -> list[Request]:
-    """``n`` evenly spaced arrivals (a closed-loop sensor at a fixed rate)."""
-    if rate_rps <= 0:
-        raise ValueError("rate_rps must be positive")
-    if isinstance(rng, (int, np.integer)):
-        rng = np.random.default_rng(int(rng))
-    gap_ms = 1e3 / rate_rps
-    xs = _payloads(n, image_size, rng, render)
-    return [Request(rid=i, arrival_ms=float((i + 1) * gap_ms),
-                    deadline_ms=deadline_ms, x=xs[i])
-            for i in range(n)]
-
-
-def offered_load(trace: list[Request], service_ms: float) -> float:
-    """Utilisation ρ of a trace against a fixed per-request service time.
-
-    ρ > 1 means the server cannot keep up without batching or degradation;
-    the acceptance tests use this to calibrate overload scenarios.
-    """
-    if not trace:
-        return 0.0
-    span_ms = max(r.arrival_ms for r in trace)
-    if span_ms <= 0:
-        return float("inf")
-    return len(trace) * service_ms / span_ms

@@ -1,0 +1,189 @@
+"""Record/replay: serve runs as versioned, portable JSONL traces.
+
+A recorded trace is the full causal input of a serving run — every
+request's arrival time, deadline, tenant and payload — plus, optionally,
+the per-request outcomes the run produced. Replaying the request stream
+through a server with the same configuration reproduces the original
+snapshot byte-for-byte (the simulator is deterministic given its inputs
+and seed), which turns any observed incident into a regression test.
+
+The format is line-oriented JSON so traces stream, diff and grep well:
+
+- line 1 — a header ``{"kind": "repro.workload.trace", "version": 1,
+  "meta": {...}, "requests": N, "outcomes": M}``;
+- then one ``{"t": "request", ...}`` line per request, in arrival order;
+- then one ``{"t": "outcome", ...}`` line per recorded response.
+
+Every object is dumped with ``sort_keys=True`` and NaN timestamps mapped
+to ``null``, so the bytes on disk are independent of dict insertion
+order and ``PYTHONHASHSEED`` — two runs that behave identically record
+identical files.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.serve.request import Request, Response
+
+__all__ = ["TRACE_KIND", "TRACE_VERSION", "RecordedTrace",
+           "save_trace", "load_trace", "record_run", "verify_replay"]
+
+TRACE_KIND = "repro.workload.trace"
+TRACE_VERSION = 1
+
+
+def _num(value) -> float | None:
+    """JSON-safe number: NaN/inf become null (strict-JSON portable)."""
+    if value is None:
+        return None
+    f = float(value)
+    return f if math.isfinite(f) else None
+
+
+def _request_record(req: Request) -> dict:
+    rec = {"t": "request", "rid": req.rid,
+           "arrival_ms": float(req.arrival_ms),
+           "deadline_ms": float(req.deadline_ms),
+           "tenant": req.tenant}
+    if req.x is not None:
+        rec["x"] = np.asarray(req.x).tolist()
+    return rec
+
+
+def _outcome_record(resp: Response) -> dict:
+    return {"t": "outcome", "rid": resp.rid, "status": resp.status,
+            "arrival_ms": float(resp.arrival_ms),
+            "abs_deadline_ms": float(resp.abs_deadline_ms),
+            "rung": resp.rung, "start_ms": _num(resp.start_ms),
+            "finish_ms": _num(resp.finish_ms),
+            "batch_size": resp.batch_size,
+            "reject_reason": resp.reject_reason, "tenant": resp.tenant}
+
+
+@dataclass
+class RecordedTrace:
+    """One loaded trace: the request stream plus recorded outcomes."""
+
+    requests: list[Request]
+    outcomes: list[dict] = field(default_factory=list)
+    meta: dict = field(default_factory=dict)
+    version: int = TRACE_VERSION
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def tenants(self) -> list[str]:
+        """Distinct tenant names present in the stream (sorted)."""
+        return sorted({r.tenant for r in self.requests
+                      if r.tenant is not None})
+
+    def describe(self) -> str:
+        span = (max(r.arrival_ms for r in self.requests)
+                if self.requests else 0.0)
+        tenants = ", ".join(self.tenants()) or "untagged"
+        return (f"{len(self.requests)} requests over {span:.1f} ms "
+                f"({tenants}); {len(self.outcomes)} recorded outcomes")
+
+
+def save_trace(path, requests: list[Request],
+               responses: list[Response] | None = None,
+               meta: dict | None = None) -> None:
+    """Write one versioned JSONL trace (see the module docstring)."""
+    responses = responses or []
+    header = {"kind": TRACE_KIND, "version": TRACE_VERSION,
+              "meta": meta or {}, "requests": len(requests),
+              "outcomes": len(responses)}
+    with open(path, "w") as fh:
+        fh.write(json.dumps(header, sort_keys=True) + "\n")
+        for req in requests:
+            fh.write(json.dumps(_request_record(req), sort_keys=True) + "\n")
+        for resp in responses:
+            fh.write(json.dumps(_outcome_record(resp), sort_keys=True) + "\n")
+
+
+def load_trace(path) -> RecordedTrace:
+    """Read a trace written by :func:`save_trace`, validating the header."""
+    with open(path) as fh:
+        header_line = fh.readline()
+        if not header_line.strip():
+            raise ValueError(f"{path}: empty trace file")
+        header = json.loads(header_line)
+        if header.get("kind") != TRACE_KIND:
+            raise ValueError(f"{path}: not a workload trace "
+                             f"(kind={header.get('kind')!r})")
+        version = header.get("version")
+        if version != TRACE_VERSION:
+            raise ValueError(f"{path}: unsupported trace version {version!r} "
+                             f"(this reader speaks {TRACE_VERSION})")
+        requests, outcomes = [], []
+        for line in fh:
+            if not line.strip():
+                continue
+            rec = json.loads(line)
+            kind = rec.get("t")
+            if kind == "request":
+                x = rec.get("x")
+                requests.append(Request(
+                    rid=int(rec["rid"]),
+                    arrival_ms=float(rec["arrival_ms"]),
+                    deadline_ms=float(rec["deadline_ms"]),
+                    x=None if x is None else np.asarray(x),
+                    tenant=rec.get("tenant")))
+            elif kind == "outcome":
+                outcomes.append(rec)
+            else:
+                raise ValueError(f"{path}: unknown record type {kind!r}")
+    if len(requests) != header["requests"] \
+            or len(outcomes) != header["outcomes"]:
+        raise ValueError(
+            f"{path}: truncated trace — header promises "
+            f"{header['requests']} requests / {header['outcomes']} "
+            f"outcomes, found {len(requests)} / {len(outcomes)}")
+    return RecordedTrace(requests, outcomes, meta=header.get("meta", {}),
+                         version=version)
+
+
+def record_run(path, requests: list[Request],
+               responses: list[Response], meta: dict | None = None) -> None:
+    """Persist a finished run: its request stream *and* its outcomes.
+
+    Sugar over :func:`save_trace` that stamps the outcome count into the
+    metadata a replay can assert against (total completed/rejected), so a
+    drifted replay fails loudly instead of silently diverging.
+    """
+    meta = dict(meta or {})
+    meta.setdefault("statuses", {})
+    for resp in responses:
+        meta["statuses"][resp.status] = \
+            meta["statuses"].get(resp.status, 0) + 1
+    save_trace(path, requests, responses, meta=meta)
+
+
+def verify_replay(recorded: RecordedTrace,
+                  responses: list[Response]) -> list[str]:
+    """Compare a replay's responses against the recorded outcomes.
+
+    Returns a list of human-readable divergences (empty means the replay
+    reproduced every recorded outcome exactly — same status, rung,
+    timing and tenant per rid). Comparison happens on the serialized
+    records, i.e. on exactly what a re-recording would write to disk.
+    """
+    want = {rec["rid"]: rec for rec in recorded.outcomes}
+    got = {resp.rid: _outcome_record(resp) for resp in responses}
+    problems = []
+    for rid in sorted(set(want) | set(got)):
+        if rid not in got:
+            problems.append(f"rid {rid}: recorded but missing from replay")
+        elif rid not in want:
+            problems.append(f"rid {rid}: replayed but not recorded")
+        elif json.dumps(want[rid], sort_keys=True) \
+                != json.dumps(got[rid], sort_keys=True):
+            keys = [k for k in want[rid]
+                    if json.dumps(want[rid][k]) != json.dumps(got[rid][k])]
+            problems.append(f"rid {rid}: differs in {', '.join(keys)}")
+    return problems
