@@ -30,7 +30,8 @@ import pytest
 from repro.cluster import Router, homogeneous_replicas, make_policy
 from repro.device import xavier
 from repro.faults import build_scenario
-from repro.serve import ServerConfig, poisson_trace
+from repro.serve import ServerConfig
+from repro.workload import poisson_trace
 from repro.zoo import build_network
 
 from conftest import emit
@@ -152,7 +153,8 @@ def test_bench_cluster_deterministic_across_hashseeds(benchmark):
         "from repro.cluster import Router, homogeneous_replicas, "
         "make_policy\n"
         "from repro.device import xavier\n"
-        "from repro.serve import ServerConfig, poisson_trace\n"
+        "from repro.serve import ServerConfig\n"
+        "from repro.workload import poisson_trace\n"
         "from repro.zoo import build_network\n"
         "base = build_network('mobilenet_v1_0.5').build(0)\n"
         "trace = poisson_trace(%d, %r, %r, rng=%d)\n"

@@ -11,7 +11,8 @@ pressure), plus the wall-clock cost of the simulator itself.
 import pytest
 
 from repro.device import xavier
-from repro.serve import Server, ServerConfig, TRNLadder, poisson_trace
+from repro.serve import Server, ServerConfig, TRNLadder
+from repro.workload import poisson_trace
 from repro.zoo import build_network
 
 from conftest import emit

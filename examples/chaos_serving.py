@@ -24,7 +24,8 @@ Run:  python examples/chaos_serving.py
 
 from repro.device import xavier
 from repro.faults import build_scenario
-from repro.serve import Server, ServerConfig, TRNLadder, poisson_trace
+from repro.serve import Server, ServerConfig, TRNLadder
+from repro.workload import poisson_trace
 from repro.zoo import build_network
 
 DEADLINE_MS = 3.0

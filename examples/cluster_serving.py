@@ -26,7 +26,8 @@ from dataclasses import replace
 from repro.cluster import Replica, Router, homogeneous_replicas, make_policy
 from repro.device import nano, xavier
 from repro.faults import build_scenario
-from repro.serve import ServerConfig, TRNLadder, poisson_trace
+from repro.serve import ServerConfig, TRNLadder
+from repro.workload import poisson_trace
 from repro.zoo import build_network
 
 DEADLINE_MS = 3.0

@@ -36,12 +36,14 @@ TOLERANCE = 0.05        # acceptance bound: obs vs device estimate
 device = xavier()
 net = build_network(NETWORK).build(0)
 
-# profile through forward hooks: every net.forward() is one observed run
+# profile through forward hooks: every forward pass is one observed run
+# (forward_one = the explicit single-sample API; hooks force the
+# interpreted walk, which is what the per-layer profiler needs)
 with LayerProfiler(net, device, rng=0) as prof:
     prof.warm_up()      # jump the device's 200-run cold-start ramp
     x = np.zeros(net.input_shape, dtype=np.float32)
     for _ in range(RUNS):
-        net.forward(x)
+        net.forward_one(x)
 table = prof.table()
 
 print(table.describe(top=10))

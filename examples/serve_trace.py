@@ -21,13 +21,8 @@ Run:  python examples/serve_trace.py
 
 from repro.device import xavier
 from repro.hand import DEFAULT_DEADLINE_MS
-from repro.serve import (
-    Server,
-    ServerConfig,
-    TRNLadder,
-    poisson_trace,
-    uniform_trace,
-)
+from repro.serve import Server, ServerConfig, TRNLadder
+from repro.workload import poisson_trace, uniform_trace
 from repro.zoo import build_network
 
 

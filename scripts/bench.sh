@@ -6,8 +6,10 @@
 # 148-TRN exploration — minutes of work with tight tolerances — so they
 # stay out of the smoke run; this covers the serve, cluster, obs and
 # faults and workload benchmarks, all seeded and wall-clock-independent,
-# then emits BENCH_serve.json and BENCH_workload.json at the repo root so
-# the perf trajectory accumulates commit over commit.
+# then emits BENCH_serve.json, BENCH_workload.json and BENCH_forward.json
+# at the repo root so the perf trajectory accumulates commit over commit.
+# (BENCH_forward.json is real wall-clock NumPy compute — its speedup and
+# parity columns are the stable signals, not the absolute samples/sec.)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -22,3 +24,4 @@ PYTHONHASHSEED=random PYTHONPATH=src python -m pytest \
 
 PYTHONPATH=src python scripts/bench_serve.py
 PYTHONPATH=src python scripts/bench_workload.py
+PYTHONPATH=src python scripts/bench_forward.py

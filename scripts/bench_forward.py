@@ -1,0 +1,125 @@
+"""Emit the compiled-forward perf trajectory as machine-readable JSON.
+
+Runs every zoo network through both forward paths — the interpreted
+node walk and the compiled fused schedule (``Network.compile()``) — and
+writes ``BENCH_forward.json`` at the repo root: samples/sec per network
+and batch size for each path, the compiled/interpreted speedup, and a
+numerical-parity verdict (``allclose``) per network.
+
+Unlike the serving benchmarks this one is real wall-clock compute
+(NumPy kernels), so absolute numbers vary across machines; the
+*speedup* column and the parity verdicts are the stable signals. The
+headline ``speedup`` per network is batch 1 — the paper's real-time
+serving regime, where per-layer dispatch overhead dominates and the
+fused static schedule pays off most.
+
+Run via scripts/bench.sh, or directly:
+
+    PYTHONPATH=src python scripts/bench_forward.py
+"""
+
+import gc
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.zoo import NETWORKS, build_network  # noqa: E402
+
+BATCHES = (1, 8, 32)
+WARMUP = 5
+MIN_REPS = 5
+MIN_SECONDS = 0.25
+WINDOWS = 4
+SEED = 0
+
+
+def _time_sps(fn, x, batch: int) -> float:
+    """Samples/sec for ``fn(x)``: warm up, then best of WINDOWS windows.
+
+    Each window repeats the call for at least MIN_SECONDS; taking the
+    fastest window filters out scheduler noise (the slow windows measure
+    the machine, the fast one measures the code).
+    """
+    for _ in range(WARMUP):
+        fn(x)
+    best = 0.0
+    gc.disable()
+    for _ in range(WINDOWS):
+        reps = 0
+        start = time.perf_counter()
+        while True:
+            fn(x)
+            reps += 1
+            elapsed = time.perf_counter() - start
+            if reps >= MIN_REPS and elapsed >= MIN_SECONDS:
+                break
+        best = max(best, reps * batch / elapsed)
+    gc.enable()
+    return best
+
+
+def bench_network(name: str) -> dict:
+    net = build_network(name).build(0)
+    rng = np.random.default_rng(SEED)
+    out: dict = {"batches": {}}
+    allclose = True
+    for batch in BATCHES:
+        x = rng.standard_normal((batch,) + net.input_shape,
+                                dtype=np.float32)
+        net.uncompile()
+        interp_out = net.forward(x)
+        interp_sps = _time_sps(net.forward, x, batch)
+        plan = net.compile()
+        compiled_out = net.forward(x)
+        compiled_sps = _time_sps(net.forward, x, batch)
+        # float32 accumulation order differs between the paths (BN folding,
+        # fused post-ops); on softmax outputs 1e-4 absolute is parity
+        allclose &= bool(np.allclose(compiled_out, interp_out,
+                                     rtol=1e-3, atol=1e-4))
+        out["batches"][str(batch)] = {
+            "interpreted_sps": round(interp_sps, 2),
+            "compiled_sps": round(compiled_sps, 2),
+            "speedup": round(compiled_sps / interp_sps, 3),
+        }
+    out["allclose"] = allclose
+    out["speedup"] = out["batches"]["1"]["speedup"]   # real-time headline
+    out["plan_steps"] = len(plan.plan.steps)
+    out["arena_slots"] = len(plan.plan.slot_shapes)
+    return out
+
+
+def main() -> None:
+    nets = {}
+    for name in NETWORKS:
+        nets[name] = bench_network(name)
+        b1 = nets[name]["batches"]["1"]
+        print(f"{name:22s} b1 {b1['interpreted_sps']:>8.1f} -> "
+              f"{b1['compiled_sps']:>8.1f} sps  ({b1['speedup']:.2f}x)  "
+              f"allclose={nets[name]['allclose']}")
+
+    payload = {
+        "kind": "repro.bench.forward",
+        "batches": list(BATCHES),
+        "networks": nets,
+    }
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    path = os.path.join(root, "BENCH_forward.json")
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {path}")
+
+    bad = [n for n, r in nets.items() if not r["allclose"]]
+    if bad:
+        print(f"PARITY FAILURE: {', '.join(bad)}", file=sys.stderr)
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

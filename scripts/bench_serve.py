@@ -22,7 +22,8 @@ sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
 
 from repro.cluster import Router, homogeneous_replicas, make_policy  # noqa: E402
 from repro.device import xavier  # noqa: E402
-from repro.serve import ServerConfig, poisson_trace  # noqa: E402
+from repro.serve import ServerConfig  # noqa: E402
+from repro.workload import poisson_trace  # noqa: E402
 from repro.zoo import build_network  # noqa: E402
 
 REQUESTS = 2000

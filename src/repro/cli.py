@@ -170,13 +170,8 @@ def cmd_serve(args) -> int:
     the ladder degradation is visible; pass ``--rate`` to choose your own.
     """
     from repro.device import xavier
-    from repro.serve import (
-        Server,
-        ServerConfig,
-        TRNLadder,
-        poisson_trace,
-        uniform_trace,
-    )
+    from repro.serve import Server, ServerConfig, TRNLadder
+    from repro.workload import poisson_trace, uniform_trace
     from repro.zoo import build_network
 
     device = xavier()
@@ -277,7 +272,8 @@ def cmd_trace(args) -> int:
         write_chrome_trace,
         write_jsonl,
     )
-    from repro.serve import Server, ServerConfig, TRNLadder, poisson_trace
+    from repro.serve import Server, ServerConfig, TRNLadder
+    from repro.workload import poisson_trace
     from repro.zoo import build_network
 
     device = xavier()
@@ -325,7 +321,8 @@ def cmd_faults(args) -> int:
     """
     from repro.device import xavier
     from repro.faults import build_scenario
-    from repro.serve import Server, ServerConfig, TRNLadder, poisson_trace
+    from repro.serve import Server, ServerConfig, TRNLadder
+    from repro.workload import poisson_trace
     from repro.zoo import build_network
 
     device = xavier()
@@ -504,7 +501,8 @@ def cmd_cluster(args) -> int:
     )
     from repro.device import DEVICE_PROFILES, xavier
     from repro.faults import build_scenario
-    from repro.serve import ServerConfig, TRNLadder, poisson_trace
+    from repro.serve import ServerConfig, TRNLadder
+    from repro.workload import poisson_trace
     from repro.zoo import build_network
 
     base = build_network(_resolve_net(args.net)).build(0)

@@ -6,85 +6,21 @@ preceding convolution so that one kernel launch covers the whole group and
 the intermediate tensor never travels to DRAM. The latency model operates on
 these fused kernels; the paper notes its coarse-grained estimator is
 compatible with such fusion, unlike per-layer-type regression (Edgent).
+
+The fusion rules themselves live in :mod:`repro.nn.compile`, which is the
+single source of truth shared with the *compiled compute path*: every
+pattern this latency model prices as one fused kernel is executed as one
+fused NumPy kernel by :meth:`repro.nn.Network.compile`. This module
+re-exports the grouping API so existing device-model callers keep working.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-from repro.nn.graph import Network
-from repro.nn.layers import (
-    Add,
-    AvgPool2D,
-    BatchNorm,
-    Concat,
-    Conv2D,
-    Dense,
-    DepthwiseConv2D,
-    Dropout,
-    Flatten,
-    GlobalAvgPool,
-    Input,
-    MaxPool2D,
-    ReLU,
-    ReLU6,
-    Softmax,
+from repro.nn.compile import (  # noqa: F401
+    ANCHOR_TYPES,
+    FUSABLE_TYPES,
+    KernelGroup,
+    fuse_kernels,
 )
 
-__all__ = ["KernelGroup", "fuse_kernels"]
-
-#: Layer types that start a new kernel.
-_ANCHORS = (Conv2D, DepthwiseConv2D, Dense, MaxPool2D, AvgPool2D,
-            GlobalAvgPool, Concat, Add, Softmax, Flatten)
-
-#: Element-wise layer types that fuse into the preceding anchor kernel.
-_FUSABLE = (BatchNorm, ReLU, ReLU6, Dropout)
-
-
-@dataclass
-class KernelGroup:
-    """A set of graph nodes executed as one device kernel."""
-
-    node_names: list[str] = field(default_factory=list)
-
-    @property
-    def anchor(self) -> str:
-        """The node that determines the kernel's compute cost."""
-        return self.node_names[0]
-
-    def __contains__(self, name: str) -> bool:
-        return name in self.node_names
-
-
-def fuse_kernels(net: Network, enabled: bool = True) -> list[KernelGroup]:
-    """Partition a network's nodes into kernel groups.
-
-    With ``enabled=False`` every non-input node is its own kernel (the
-    unfused baseline used by the deployment-optimizations ablation).
-
-    Fusion is greedy and chain-safe: an element-wise node joins the group of
-    its single producer as long as that producer's output has no other
-    consumer (otherwise the intermediate tensor must be materialised anyway).
-    """
-    consumers: dict[str, int] = {name: 0 for name in net.nodes}
-    for node in net.nodes.values():
-        for dep in node.inputs:
-            consumers[dep] += 1
-
-    groups: list[KernelGroup] = []
-    group_of: dict[str, KernelGroup] = {}
-    for node in net.nodes.values():
-        if isinstance(node.layer, Input):
-            continue
-        if (enabled and isinstance(node.layer, _FUSABLE)
-                and len(node.inputs) == 1
-                and node.inputs[0] in group_of
-                and consumers[node.inputs[0]] == 1):
-            group = group_of[node.inputs[0]]
-            group.node_names.append(node.name)
-            group_of[node.name] = group
-            continue
-        group = KernelGroup([node.name])
-        groups.append(group)
-        group_of[node.name] = group
-    return groups
+__all__ = ["KernelGroup", "fuse_kernels", "ANCHOR_TYPES", "FUSABLE_TYPES"]

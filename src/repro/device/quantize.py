@@ -90,7 +90,12 @@ class QuantizedNetwork:
             self._act_scales[name] = max(bound, 1e-8) / _QMAX
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        """Inference with fake-quantized activations after each conv/dense."""
+        """Inference with fake-quantized activations after each conv/dense.
+
+        ``x`` is a batch ``(N,) + input_shape``; use :meth:`forward_one`
+        for a single un-batched sample (mirroring
+        :meth:`repro.nn.Network.forward_one`'s explicit API).
+        """
         acts: dict[str, np.ndarray] = {}
         for node in self.net.nodes.values():
             if isinstance(node.layer, Input):
@@ -103,3 +108,12 @@ class QuantizedNetwork:
                 out = quantize_tensor(out, scale)
             acts[node.name] = out
         return acts[self.net.output_name]
+
+    def forward_one(self, x: np.ndarray) -> np.ndarray:
+        """Quantized inference on exactly one un-batched sample."""
+        x = np.asarray(x)
+        if x.shape != self.net.input_shape:
+            raise ValueError(
+                f"forward_one expects one sample of shape "
+                f"{self.net.input_shape}, got {x.shape}")
+        return self.forward(x[None])[0]

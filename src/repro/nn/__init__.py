@@ -8,6 +8,7 @@ pretrain, trim and fine-tune every architecture in :mod:`repro.zoo`.
 """
 
 from . import functional
+from .compile import CompiledNetwork, ExecutionPlan, compile_network
 from .graph import Network, Node
 from .layers import (
     Add,
@@ -35,6 +36,9 @@ __all__ = [
     "functional",
     "Network",
     "Node",
+    "CompiledNetwork",
+    "ExecutionPlan",
+    "compile_network",
     "Layer",
     "Parameter",
     "Input",

@@ -1,0 +1,352 @@
+"""The compiled forward path: fusion rules, static schedule, arenas.
+
+This module is the single source of truth for *layer fusion*: the grouping
+of graph nodes into the kernels a runtime launches. The device latency
+model (:mod:`repro.device.fusion` re-exports :func:`fuse_kernels` from
+here) and the compiled executor below both consume the same
+:class:`KernelGroup` partition, so what the latency model *prices* as one
+fused kernel is exactly what the compute path *runs* as one fused kernel.
+
+Compilation (:func:`compile_network`, or :meth:`Network.compile
+<repro.nn.graph.Network.compile>`) happens once per network state:
+
+1. the graph is partitioned into kernel groups (conv+BN+ReLU chains fuse,
+   batch norms behind conv/dense anchors fold into the weights),
+2. the groups are laid out as a flat :class:`ExecutionPlan` — a static
+   schedule with precomputed consumer counts and a liveness-based *arena*
+   assignment, so activation buffers are reused both across steps (a slot
+   freed by its last consumer is recycled for a later output of the same
+   shape) and across calls (per-batch-size arenas persist between
+   forwards),
+3. every step gets a fused kernel from :mod:`repro.nn.kernels`.
+
+The plan is validated against a cheap state signature (structure version +
+parameter/batch-norm-statistic version counters) on every use; weight
+mutation through ``Parameter.value`` or ``load_state_dict`` triggers a
+transparent recompile, and ``copy()``/``subgraph()`` clones start
+uncompiled. Forward passes with hooks attached, ``training=True`` or
+``capture=`` fall back to the interpreted node walk, which observers
+(:mod:`repro.obs`) and gradient checks rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .kernels import Kernel, build_kernel
+from .layers import (
+    Add,
+    AvgPool2D,
+    BatchNorm,
+    Concat,
+    Conv2D,
+    Dense,
+    DepthwiseConv2D,
+    Dropout,
+    Flatten,
+    GlobalAvgPool,
+    Input,
+    MaxPool2D,
+    ReLU,
+    ReLU6,
+    Softmax,
+)
+
+__all__ = [
+    "ANCHOR_TYPES",
+    "FUSABLE_TYPES",
+    "KernelGroup",
+    "fuse_kernels",
+    "state_signature",
+    "ExecutionPlan",
+    "CompiledNetwork",
+    "compile_network",
+]
+
+Shape = tuple[int, ...]
+
+#: Layer types that start a new kernel.
+ANCHOR_TYPES = (Conv2D, DepthwiseConv2D, Dense, MaxPool2D, AvgPool2D,
+                GlobalAvgPool, Concat, Add, Softmax, Flatten)
+
+#: Element-wise layer types that fuse into the preceding anchor kernel.
+FUSABLE_TYPES = (BatchNorm, ReLU, ReLU6, Dropout)
+
+
+@dataclass
+class KernelGroup:
+    """A set of graph nodes executed as one device kernel."""
+
+    node_names: list[str] = field(default_factory=list)
+
+    @property
+    def anchor(self) -> str:
+        """The node that determines the kernel's compute cost."""
+        return self.node_names[0]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.node_names
+
+
+def fuse_kernels(net, enabled: bool = True) -> list[KernelGroup]:
+    """Partition a network's nodes into kernel groups.
+
+    With ``enabled=False`` every non-input node is its own kernel (the
+    unfused baseline used by the deployment-optimizations ablation).
+
+    Fusion is greedy and chain-safe: an element-wise node joins the group
+    of its single producer as long as that producer's output has no other
+    consumer (otherwise the intermediate tensor must be materialised
+    anyway).
+    """
+    consumers: dict[str, int] = {name: 0 for name in net.nodes}
+    for node in net.nodes.values():
+        for dep in node.inputs:
+            consumers[dep] += 1
+
+    groups: list[KernelGroup] = []
+    group_of: dict[str, KernelGroup] = {}
+    for node in net.nodes.values():
+        if isinstance(node.layer, Input):
+            continue
+        if (enabled and isinstance(node.layer, FUSABLE_TYPES)
+                and len(node.inputs) == 1
+                and node.inputs[0] in group_of
+                and consumers[node.inputs[0]] == 1):
+            group = group_of[node.inputs[0]]
+            group.node_names.append(node.name)
+            group_of[node.name] = group
+            continue
+        group = KernelGroup([node.name])
+        groups.append(group)
+        group_of[node.name] = group
+    return groups
+
+
+def state_signature(net) -> tuple:
+    """A cheap fingerprint of everything a compiled plan snapshots.
+
+    Changes whenever the structure is edited (``add``/``build``/
+    ``load_state_dict`` bump the network's mutation counter), a parameter
+    is reassigned through ``Parameter.value``, or a batch norm updates its
+    running statistics. In-place writes into a parameter's array
+    (``p.value[...] = x``) are invisible to the signature — use
+    ``Network.compile(force=True)`` after such edits.
+    """
+    params = 0
+    stats = 0
+    for node in net.nodes.values():
+        layer = node.layer
+        for p in layer.params.values():
+            params += p.version
+        stats += getattr(layer, "stats_version", 0)
+    return (net._mutation_version, len(net.nodes), net.output_name,
+            params, stats)
+
+
+@dataclass
+class _Step:
+    """One scheduled kernel launch."""
+
+    kernel: Kernel
+    node_names: list[str]
+    input_ids: list[int]
+    out_id: int
+    slot: int | None          # arena slot for the output (None = fallback)
+    out_shape: Shape          # per-sample
+
+    @property
+    def name(self) -> str:
+        return self.node_names[0]
+
+
+class _Arena:
+    """One batch size's bound execution program: slots, states, buffers.
+
+    Binding resolves, once, everything ``run`` would otherwise look up per
+    step: each step's output arena slot, its per-batch kernel state
+    (padding borders, patch matrices), and its input buffer list — every
+    input that lives in an arena slot is wired in directly, so the hot
+    loop only patches in dynamic values (the network input, fallback-
+    kernel outputs).
+    """
+
+    def __init__(self, batch: int, plan: "ExecutionPlan"):
+        self.batch = batch
+        self._slots = {sid: np.empty((batch,) + shape, dtype=np.float32)
+                       for sid, shape in plan.slot_shapes.items()}
+        value_buf = {vid: self._slots[sid]
+                     for vid, sid in plan.value_slot.items()}
+        self.program = []
+        self._states = []
+        for step in plan.steps:
+            state = step.kernel.make_state(batch)
+            self._states.append(state)
+            out = None if step.slot is None else self._slots[step.slot]
+            ins: list = [value_buf.get(vid) for vid in step.input_ids]
+            dynamic = tuple((pos, vid)
+                            for pos, vid in enumerate(step.input_ids)
+                            if vid not in value_buf)
+            self.program.append(
+                (step.kernel, ins, dynamic, out, state, step.out_id))
+
+    @property
+    def nbytes(self) -> int:
+        total = sum(b.nbytes for b in self._slots.values())
+        seen = set()
+        for state in self._states:
+            bufs = state if isinstance(state, tuple) else (state,)
+            for buf in bufs:
+                if (isinstance(buf, np.ndarray) and buf.base is None
+                        and id(buf) not in seen):
+                    seen.add(id(buf))
+                    total += buf.nbytes
+        return total
+
+
+class ExecutionPlan:
+    """A flat, topologically ordered schedule of fused kernel steps."""
+
+    def __init__(self, net):
+        if not net.built:
+            raise RuntimeError("network is not built; call build() first")
+        self.input_shape = net.input_shape
+        groups = fuse_kernels(net, enabled=True)
+        produced = {g.node_names[-1] for g in groups}
+        # external references may only target a group's *last* node; the
+        # fusion rule guarantees this for everything except the network
+        # output, which forward() must return as-is
+        if net.output_name != "input" and net.output_name not in produced:
+            raise ValueError(
+                f"output node {net.output_name!r} is fused mid-group; "
+                "compiled execution cannot expose its activation")
+
+        node_value = {"input": 0}
+        self.steps: list[_Step] = []
+        self.num_values = 1
+        for i, group in enumerate(groups):
+            anchor = net.nodes[group.anchor]
+            tail = [net.nodes[name].layer for name in group.node_names[1:]]
+            in_shape = net.in_shapes(anchor.name)[0]
+            out_shape = net.shape_of(group.node_names[-1])
+            kernel = build_kernel(i, anchor.layer, tail, in_shape, out_shape)
+            input_ids = [node_value[d] for d in anchor.inputs] or [0]
+            out_id = self.num_values
+            self.num_values += 1
+            node_value[group.node_names[-1]] = out_id
+            self.steps.append(_Step(kernel, list(group.node_names),
+                                    input_ids, out_id, None, out_shape))
+        self.out_value = node_value.get(net.output_name, 0)
+        self._assign_slots()
+
+    def _assign_slots(self) -> None:
+        """Liveness-based arena assignment: recycle freed same-shape slots."""
+        refs = {self.out_value: 1}  # the output stays live to the end
+        for step in self.steps:
+            for vid in step.input_ids:
+                refs[vid] = refs.get(vid, 0) + 1
+        value_slot: dict[int, int] = {}
+        slot_shapes: dict[int, Shape] = {}
+        free: dict[Shape, list[int]] = {}
+        next_slot = 0
+        for step in self.steps:
+            if step.kernel.fused:
+                pool = free.get(step.out_shape)
+                if pool:
+                    sid = pool.pop()
+                else:
+                    sid = next_slot
+                    next_slot += 1
+                    slot_shapes[sid] = step.out_shape
+                step.slot = sid
+                value_slot[step.out_id] = sid
+            for vid in step.input_ids:
+                refs[vid] -= 1
+                if refs[vid] == 0 and vid in value_slot:
+                    sid = value_slot[vid]
+                    free.setdefault(slot_shapes[sid], []).append(sid)
+        self.slot_shapes = slot_shapes
+        self.value_slot = value_slot
+
+    def describe(self) -> str:
+        """One line per step: kernel type, fused nodes, slot, shape."""
+        lines = [f"{len(self.steps)} steps, {len(self.slot_shapes)} arena "
+                 f"slots for {self.num_values} values"]
+        for step in self.steps:
+            lines.append(
+                f"  [{step.slot if step.slot is not None else '-':>3}] "
+                f"{type(step.kernel).__name__:22s} "
+                f"{'+'.join(step.node_names)}")
+        return "\n".join(lines)
+
+
+class CompiledNetwork:
+    """A network frozen into an :class:`ExecutionPlan` plus its arenas.
+
+    Call it (or :meth:`run`) with a batched input; the underlying
+    :class:`~repro.nn.graph.Network` routes ``forward``/``forward_batch``
+    here automatically while the plan is valid. Arenas are cached per
+    batch size (bounded LRU), so steady-state inference allocates nothing
+    but the returned output copy.
+    """
+
+    MAX_ARENAS = 8
+
+    def __init__(self, net):
+        self.net = net
+        self.plan = ExecutionPlan(net)
+        self.signature = state_signature(net)
+        self._arenas: dict[int, _Arena] = {}
+
+    @property
+    def valid(self) -> bool:
+        """Whether the plan still matches the network's weights/structure."""
+        return self.signature == state_signature(self.net)
+
+    def _arena(self, batch: int) -> _Arena:
+        arena = self._arenas.get(batch)
+        if arena is None:
+            if len(self._arenas) >= self.MAX_ARENAS:
+                self._arenas.pop(next(iter(self._arenas)))
+            arena = _Arena(batch, self.plan)
+            self._arenas[batch] = arena
+        return arena
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        """Execute the plan on a batch ``(N,) + input_shape``."""
+        x = np.ascontiguousarray(x, dtype=np.float32)
+        if x.shape[1:] != self.plan.input_shape:
+            raise ValueError(
+                f"expected batched input (N,)+{self.plan.input_shape}, "
+                f"got {x.shape}")
+        arena = self._arena(x.shape[0])
+        values: list = [None] * self.plan.num_values
+        values[0] = x
+        for kernel, ins, dynamic, out, state, out_id in arena.program:
+            for pos, vid in dynamic:
+                ins[pos] = values[vid]
+            values[out_id] = kernel.run(ins, out, state)
+        # the output lives in a reused arena slot; hand the caller a copy
+        # so the next forward cannot overwrite it behind their back
+        return values[self.out_value].copy()
+
+    __call__ = run
+
+    @property
+    def out_value(self) -> int:
+        return self.plan.out_value
+
+    @property
+    def arena_bytes(self) -> int:
+        """Total bytes currently held across all batch-size arenas."""
+        return sum(a.nbytes for a in self._arenas.values())
+
+    def describe(self) -> str:
+        return self.plan.describe()
+
+
+def compile_network(net) -> CompiledNetwork:
+    """Compile a built network into a :class:`CompiledNetwork`."""
+    return CompiledNetwork(net)

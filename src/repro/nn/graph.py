@@ -16,6 +16,14 @@ Networks also support *forward hooks* — callables fired around every node
 during :meth:`Network.forward` (and therefore :meth:`Network.forward_batch`).
 They are the substrate :mod:`repro.obs` builds its per-layer profiler on:
 observers see execution without the network knowing who is watching.
+
+Execution has two paths. The default is the interpreted node-by-node walk
+below; :meth:`Network.compile` freezes the graph into a fused static
+schedule (:mod:`repro.nn.compile`) that ``forward``/``forward_batch``
+route through transparently whenever no hooks are attached and neither
+``training`` nor ``capture`` is requested. The plan invalidates itself on
+structural edits and weight mutation, and ``copy()``/``subgraph()``
+clones always start uncompiled.
 """
 
 from __future__ import annotations
@@ -60,6 +68,8 @@ class Network:
         self._pre_hooks: dict[int, object] = {}
         self._post_hooks: dict[int, object] = {}
         self._next_hook_id = 0
+        self._mutation_version = 0
+        self._compiled = None
         self.add("input", Input(self.input_shape), inputs=[], role="stem")
 
     # -- construction ------------------------------------------------------
@@ -86,6 +96,7 @@ class Network:
                 raise ValueError(f"node {name!r} depends on unknown node {dep!r}")
         self.nodes[name] = Node(name, layer, list(inputs), block_id, role)
         self.output_name = name
+        self._mutation_version += 1
         return name
 
     def build(self, rng: np.random.Generator | int = 0) -> "Network":
@@ -99,6 +110,7 @@ class Network:
                 node.layer.build(in_shapes, rng)
             self._shapes[node.name] = node.layer.out_shape(
                 in_shapes if in_shapes else [self.input_shape])
+        self._mutation_version += 1
         return self
 
     @property
@@ -147,6 +159,42 @@ class Network:
         """Whether any forward hook is currently attached."""
         return bool(self._pre_hooks or self._post_hooks)
 
+    # -- compilation -------------------------------------------------------
+    def compile(self, force: bool = False):
+        """Freeze the graph into a fused static schedule; returns the plan.
+
+        The returned :class:`~repro.nn.compile.CompiledNetwork` is cached;
+        :meth:`forward` and :meth:`forward_batch` route through it
+        automatically whenever no hooks are attached and neither
+        ``training`` nor ``capture`` is requested. A stale plan (weights
+        reassigned, structure edited) is rebuilt transparently. Raw
+        in-place writes into a parameter's array bypass version tracking —
+        call ``compile(force=True)`` (or :meth:`uncompile`) after those.
+        """
+        from .compile import compile_network
+        if force or self._compiled is None or not self._compiled.valid:
+            self._compiled = compile_network(self)
+        return self._compiled
+
+    def uncompile(self) -> None:
+        """Drop the cached plan; forwards use the interpreted walk again."""
+        self._compiled = None
+
+    @property
+    def compiled(self) -> bool:
+        """Whether a compiled plan is cached (it may still be stale)."""
+        return self._compiled is not None
+
+    def _active_plan(self, training: bool, capture):
+        """The compiled plan to route through, or None for the interpreter."""
+        if (self._compiled is None or training or capture is not None
+                or self._pre_hooks or self._post_hooks):
+            return None
+        if not self._compiled.valid:
+            from .compile import compile_network
+            self._compiled = compile_network(self)
+        return self._compiled
+
     # -- execution ---------------------------------------------------------
     def forward(self, x: np.ndarray, training: bool = False,
                 capture: list[str] | None = None):
@@ -171,6 +219,10 @@ class Network:
         if not self._shapes:
             raise RuntimeError("network is not built; call build() first")
         single = x.shape == self.input_shape
+        plan = self._active_plan(training, capture)
+        if plan is not None:
+            out = plan.run(x[None] if single else x)
+            return out[0] if single else out
         if single:
             x = x[None]
         acts: dict[str, np.ndarray] = {}
@@ -197,6 +249,24 @@ class Network:
         if capture is not None:
             return out, {k: acts[k] for k in capture}
         return out
+
+    def forward_one(self, x: np.ndarray, training: bool = False,
+                    capture: list[str] | None = None):
+        """Run the network on exactly one un-batched sample.
+
+        The explicit single-sample API: ``x`` must have shape
+        ``input_shape`` (no batch axis) or a ``ValueError`` is raised,
+        unlike :meth:`forward`'s implicit shape sniffing, which cannot
+        distinguish a single sample from a batch whose leading dimension
+        happens to match. Returns the un-batched output (and un-batched
+        captured activations when ``capture`` is given).
+        """
+        x = np.asarray(x)
+        if x.shape != self.input_shape:
+            raise ValueError(
+                f"forward_one expects one sample of shape "
+                f"{self.input_shape}, got {x.shape}")
+        return self.forward(x, training=training, capture=capture)
 
     def forward_batch(self, samples, training: bool = False) -> np.ndarray:
         """Run many single samples as ONE stacked forward pass.
@@ -385,6 +455,8 @@ class Network:
         clone._shapes = dict(self._shapes)
         clone._pre_hooks, clone._post_hooks = {}, {}
         clone._next_hook_id = 0
+        clone._mutation_version = 0
+        clone._compiled = None
         clone.nodes = {}
         for name, node in self.nodes.items():
             clone.nodes[name] = Node(node.name, copy.deepcopy(node.layer),
@@ -412,6 +484,8 @@ class Network:
         clone.input_shape = self.input_shape
         clone._pre_hooks, clone._post_hooks = {}, {}
         clone._next_hook_id = 0
+        clone._mutation_version = 0
+        clone._compiled = None
         clone.nodes = {}
         for nname, node in self.nodes.items():
             if nname in needed:
@@ -440,6 +514,7 @@ class Network:
         With ``strict=False``, keys that do not exist in this network are
         ignored (used when loading pretrained weights into a trimmed net).
         """
+        self._mutation_version += 1
         for node in self.nodes.values():
             for pname, p in node.layer.params.items():
                 key = f"{node.name}.{pname}"

@@ -1,0 +1,571 @@
+"""Fused NumPy compute kernels for the compiled forward path.
+
+Each kernel executes one :class:`~repro.nn.compile.KernelGroup` — an anchor
+layer plus the element-wise layers fused behind it — as a single call with
+no per-layer Python dispatch and (almost) no allocation:
+
+- Convolutions run as im2col/GEMM with the patch matrix written into a
+  preallocated scratch buffer and the GEMM accumulating straight into the
+  output arena slot. 1x1 convolutions skip im2col entirely (a reshape is
+  already the GEMM operand). When a bias exists (or a batch norm folded
+  into one), the patch matrix grows a constant ones column and the bias
+  becomes an extra weight row, so the GEMM emits ``x @ w + b`` in one call.
+- Depthwise convolutions pick their algorithm per layer at compile time:
+  narrow layers (few channels) run as an im2col GEMM against a
+  block-diagonal weight matrix — more FLOPs, but BLAS-speed FLOPs — while
+  wide layers run a per-tap einsum over the patch tensor.
+- Batch-norm layers that directly follow a conv/dense anchor are *folded
+  into the weights* at compile time (``w' = w * gamma/sqrt(var+eps)``,
+  ``b' = beta + (b - mean) * gamma/sqrt(var+eps)``), so inference pays
+  nothing for them. Batch norms that cannot fold (after pools, adds,
+  concats, or behind an activation) become a two-pass in-place affine.
+- Activations (ReLU/ReLU6) are applied in place on the output buffer;
+  inference-time dropout disappears.
+- Pooling runs as a short tap loop of ``np.maximum``/``np.add`` over
+  shifted views — several times faster than an axis reduction over the
+  strided patch tensor.
+
+Kernels are *stateless across batch sizes*: all scratch (padding borders,
+patch matrices) lives in the per-batch-size state object built once by
+:meth:`Kernel.make_state` and owned by the arena, so a steady-state
+forward pass performs no heap allocation and no cache lookups. Kernels
+never mutate their inputs — only the output buffer and their own state —
+so arena slots can be shared between steps safely. All buffers are
+float32; the compiled path is an inference path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+from .layers import (
+    Add,
+    AvgPool2D,
+    BatchNorm,
+    Concat,
+    Conv2D,
+    Dense,
+    DepthwiseConv2D,
+    Dropout,
+    Flatten,
+    GlobalAvgPool,
+    MaxPool2D,
+    ReLU,
+    ReLU6,
+    Softmax,
+)
+
+__all__ = ["Kernel", "KERNEL_TYPES", "build_kernel"]
+
+Shape = tuple[int, ...]
+
+#: Channel cutoff below which a depthwise convolution runs as a
+#: block-diagonal GEMM instead of a patch einsum. The GEMM does ``C``
+#: times the FLOPs but runs at BLAS speed; empirically it wins while the
+#: channel count is small (the early, large-spatial layers where depthwise
+#: time concentrates).
+DEPTHWISE_GEMM_MAX_CHANNELS = 8
+
+
+# -- post-ops (element-wise tails applied in place on the output) -----------
+
+def _relu_op(out: np.ndarray) -> None:
+    np.maximum(out, 0.0, out=out)
+
+
+def _relu6_op(out: np.ndarray) -> None:
+    np.clip(out, 0.0, 6.0, out=out)
+
+
+def _make_affine_op(scale: np.ndarray, shift: np.ndarray):
+    def op(out: np.ndarray) -> None:
+        out *= scale
+        out += shift
+    return op
+
+
+def _bn_affine(layer: BatchNorm) -> tuple[np.ndarray, np.ndarray]:
+    """Inference batch-norm as a per-channel (scale, shift) pair."""
+    inv = 1.0 / np.sqrt(layer.running_var + layer.eps)
+    scale = (layer.params["gamma"].value * inv).astype(np.float32)
+    shift = (layer.params["beta"].value
+             - layer.running_mean * scale).astype(np.float32)
+    return scale, shift
+
+
+def _tail_ops(layers: list, foldable: bool):
+    """Split a group's element-wise tail into (folded BN, runtime post-ops).
+
+    ``foldable`` anchors (conv/dense) absorb any leading batch norms into
+    their weights; everything else becomes an in-place runtime op, in
+    order. Returns ``(scale, shift, postops)`` where ``scale``/``shift``
+    are ``None`` when nothing folded.
+    """
+    scale = shift = None
+    postops = []
+    for lay in layers:
+        if isinstance(lay, BatchNorm):
+            s, t = _bn_affine(lay)
+            if foldable and not postops:
+                if scale is None:
+                    scale, shift = s, t
+                else:
+                    scale, shift = scale * s, shift * s + t
+            else:
+                postops.append(_make_affine_op(s, t))
+        elif isinstance(lay, ReLU):
+            postops.append(_relu_op)
+        elif isinstance(lay, ReLU6):
+            postops.append(_relu6_op)
+        elif isinstance(lay, Dropout):
+            continue  # identity at inference
+        else:  # pragma: no cover - fuse_kernels only groups known types
+            raise TypeError(f"no fused post-op for {type(lay).__name__}")
+    return scale, shift, postops
+
+
+def _fold_bias(layer, scale, shift):
+    """The effective bias after folding a batch norm into the anchor."""
+    bias = layer.params["b"].value if layer.use_bias else None
+    if scale is not None:
+        bias = shift if bias is None else bias * scale + shift
+    return None if bias is None else bias.astype(np.float32)
+
+
+# -- geometry helpers --------------------------------------------------------
+
+def _patch_view(x: np.ndarray, kh: int, kw: int, stride: int,
+                oh: int, ow: int) -> np.ndarray:
+    """Zero-copy sliding-window view ``(N, OH, OW, kh, kw, C)``."""
+    s0, s1, s2, s3 = x.strides
+    return np.lib.stride_tricks.as_strided(
+        x, shape=(x.shape[0], oh, ow, kh, kw, x.shape[-1]),
+        strides=(s0, s1 * stride, s2 * stride, s1, s2, s3))
+
+
+def _cols_view(cols2d: np.ndarray, n: int, oh: int, ow: int,
+               kh: int, kw: int, c: int) -> np.ndarray:
+    """A writable 6-D patch view over the first ``kh*kw*c`` columns of a
+    row-padded patch matrix (the trailing ones column is left alone)."""
+    pitch = cols2d.strides[0]
+    return np.lib.stride_tricks.as_strided(
+        cols2d, shape=(n, oh, ow, kh, kw, c),
+        strides=(oh * ow * pitch, ow * pitch, pitch, kw * c * 4, c * 4, 4))
+
+
+class _PadPlan:
+    """SAME-padding geometry shared by the conv/pool kernels."""
+
+    def __init__(self, in_shape: Shape, kernel: tuple[int, int], stride: int,
+                 padding: str):
+        h, w, c = in_shape
+        kh, kw = kernel
+        if padding == "same":
+            self.ph = F.same_padding(h, kh, stride)
+            self.pw = F.same_padding(w, kw, stride)
+        else:
+            self.ph = self.pw = (0, 0)
+        self.needed = self.ph != (0, 0) or self.pw != (0, 0)
+        self.in_hw = (h, w)
+        self.padded_shape = (h + sum(self.ph), w + sum(self.pw), c)
+        hp, wp, _ = self.padded_shape
+        self.out_hw = ((hp - kh) // stride + 1, (wp - kw) // stride + 1)
+
+    def make_buf(self, n: int, fill: float) -> np.ndarray | None:
+        if not self.needed:
+            return None
+        return np.full((n,) + self.padded_shape, fill, dtype=np.float32)
+
+    def apply(self, x: np.ndarray, buf: np.ndarray | None) -> np.ndarray:
+        if buf is None:
+            return x
+        h, w = self.in_hw
+        buf[:, self.ph[0]:self.ph[0] + h, self.pw[0]:self.pw[0] + w, :] = x
+        return buf
+
+
+# -- kernels -----------------------------------------------------------------
+
+class Kernel:
+    """One compiled execution step: anchor + fused element-wise tail."""
+
+    #: whether the whole group runs as fused compute (False = generic
+    #: per-layer fallback, used only for layer types outside the zoo set)
+    fused = True
+
+    def __init__(self, step: int, out_shape: Shape):
+        self.step = step
+        self.out_shape = out_shape
+
+    def make_state(self, n: int):
+        """Per-batch-size scratch, built once per arena. Default: none."""
+        return None
+
+    def run(self, ins: list[np.ndarray], out: np.ndarray, state):
+        raise NotImplementedError
+
+
+class _GemmConvBase(Kernel):
+    """Shared im2col/GEMM machinery for dense and depthwise convolutions.
+
+    Subclasses set ``self.wf`` (the ``(K[+1], F)`` weight matrix),
+    ``self.bias`` and ``self.fold_bias`` (True = bias rides in the GEMM as
+    a ones column / extra weight row). ``state`` is
+    ``(padbuf, cols2d, cols6)``.
+    """
+
+    def __init__(self, step: int, out_shape: Shape, layer, in_shape: Shape):
+        super().__init__(step, out_shape)
+        self.kh, self.kw = layer.kernel
+        self.stride = layer.stride
+        self.cin = in_shape[-1]
+        self.pad = _PadPlan(in_shape, layer.kernel, layer.stride,
+                            layer.padding)
+
+    def make_state(self, n: int):
+        oh, ow, _ = self.out_shape
+        k = self.kh * self.kw * self.cin
+        cols2d = np.empty((n * oh * ow, k + 1 if self.fold_bias else k),
+                          dtype=np.float32)
+        if self.fold_bias:
+            cols2d[:, k] = 1.0
+        cols6 = _cols_view(cols2d, n, oh, ow, self.kh, self.kw, self.cin)
+        return (self.pad.make_buf(n, 0.0), cols2d, cols6)
+
+    def run(self, ins, out, state):
+        x = ins[0]
+        oh, ow, f = self.out_shape
+        padbuf, cols2d, cols6 = state
+        xs = self.pad.apply(x, padbuf)
+        np.copyto(cols6, _patch_view(xs, self.kh, self.kw, self.stride,
+                                     oh, ow))
+        np.matmul(cols2d, self.wf, out=out.reshape(-1, f))
+        if self.bias is not None and not self.fold_bias:
+            out += self.bias
+        for op in self.postops:
+            op(out)
+        return out
+
+
+class ConvKernel(_GemmConvBase):
+    """Conv2D anchor: im2col/GEMM with folded BN and in-place activation."""
+
+    def __init__(self, step: int, out_shape: Shape, layer: Conv2D,
+                 in_shape: Shape, tail: list):
+        _GemmConvBase.__init__(self, step, out_shape, layer, in_shape)
+        self.filters = layer.filters
+        scale, shift, self.postops = _tail_ops(tail, foldable=True)
+        w = layer.params["w"].value.reshape(-1, self.filters)
+        wf = np.ascontiguousarray(w if scale is None else w * scale,
+                                  dtype=np.float32)
+        self.bias = _fold_bias(layer, scale, shift)
+        # a 1x1 kernel needs no patch matrix: the input *is* the GEMM
+        # operand (strided row subsampling when stride > 1)
+        self.fast_1x1 = (self.kh, self.kw) == (1, 1) and not self.pad.needed
+        self.fold_bias = self.bias is not None and not self.fast_1x1
+        self.wf = (np.vstack([wf, self.bias[None]])
+                   if self.fold_bias else wf)
+
+    def make_state(self, n: int):
+        if not self.fast_1x1:
+            return _GemmConvBase.make_state(self, n)
+        if self.stride > 1:
+            oh, ow, _ = self.out_shape
+            return np.empty((n, oh, ow, self.cin), dtype=np.float32)
+        return None
+
+    def run(self, ins, out, state):
+        if not self.fast_1x1:
+            return _GemmConvBase.run(self, ins, out, state)
+        x = ins[0]
+        _, _, f = self.out_shape
+        src = x
+        if self.stride > 1:
+            np.copyto(state, x[:, ::self.stride, ::self.stride, :])
+            src = state
+        np.matmul(src.reshape(-1, self.cin), self.wf, out=out.reshape(-1, f))
+        if self.bias is not None:
+            out += self.bias
+        for op in self.postops:
+            op(out)
+        return out
+
+
+class DepthwiseConvKernel(Kernel):
+    """DepthwiseConv2D anchor, algorithm chosen per layer at compile time.
+
+    Narrow layers (``C <= DEPTHWISE_GEMM_MAX_CHANNELS``) run the patch
+    matrix against a block-diagonal ``(kh*kw*C, C)`` weight — a ``C``-fold
+    FLOP blow-up that BLAS still wins on. Wide layers contract the patch
+    tensor with an einsum.
+    """
+
+    def __init__(self, step: int, out_shape: Shape, layer: DepthwiseConv2D,
+                 in_shape: Shape, tail: list):
+        super().__init__(step, out_shape)
+        self.kh, self.kw = layer.kernel
+        self.stride = layer.stride
+        self.cin = self.channels = c = in_shape[-1]
+        self.pad = _PadPlan(in_shape, layer.kernel, layer.stride,
+                            layer.padding)
+        scale, shift, self.postops = _tail_ops(tail, foldable=True)
+        w = layer.params["w"].value.reshape(self.kh * self.kw, c)
+        wf = np.ascontiguousarray(w if scale is None else w * scale,
+                                  dtype=np.float32)
+        self.bias = _fold_bias(layer, scale, shift)
+        self.as_gemm = c <= DEPTHWISE_GEMM_MAX_CHANNELS
+        self.fold_bias = self.as_gemm and self.bias is not None
+        if self.as_gemm:
+            k2 = self.kh * self.kw
+            bd = np.zeros((k2 * c, c), dtype=np.float32)
+            idx = np.arange(c)
+            for t in range(k2):
+                bd[t * c + idx, idx] = wf[t]
+            self.wf = (np.vstack([bd, self.bias[None]])
+                       if self.fold_bias else bd)
+        else:
+            self.wf = wf
+
+    def make_state(self, n: int):
+        if self.as_gemm:
+            return _GemmConvBase.make_state(self, n)
+        oh, ow, c = self.out_shape
+        cols = np.empty((n, oh, ow, self.kh * self.kw, c), dtype=np.float32)
+        return (self.pad.make_buf(n, 0.0), cols)
+
+    def run(self, ins, out, state):
+        if self.as_gemm:
+            return _GemmConvBase.run(self, ins, out, state)
+        x = ins[0]
+        oh, ow, c = self.out_shape
+        padbuf, cols = state
+        xs = self.pad.apply(x, padbuf)
+        n = x.shape[0]
+        np.copyto(cols.reshape(n, oh, ow, self.kh, self.kw, c),
+                  _patch_view(xs, self.kh, self.kw, self.stride, oh, ow))
+        np.einsum("nhwkc,kc->nhwc", cols, self.wf, out=out)
+        if self.bias is not None:
+            out += self.bias
+        for op in self.postops:
+            op(out)
+        return out
+
+
+class DenseKernel(Kernel):
+    """Dense anchor: GEMM with folded BN and in-place activation."""
+
+    def __init__(self, step: int, out_shape: Shape, layer: Dense,
+                 in_shape: Shape, tail: list):
+        super().__init__(step, out_shape)
+        self.units = layer.units
+        self.d = in_shape[-1]
+        scale, shift, self.postops = _tail_ops(tail, foldable=True)
+        w = layer.params["w"].value
+        self.wf = np.ascontiguousarray(w if scale is None else w * scale,
+                                       dtype=np.float32)
+        self.bias = _fold_bias(layer, scale, shift)
+
+    def run(self, ins, out, state):
+        x = ins[0]
+        np.matmul(x.reshape(-1, self.d), self.wf,
+                  out=out.reshape(-1, self.units))
+        if self.bias is not None:
+            out += self.bias
+        for op in self.postops:
+            op(out)
+        return out
+
+
+class PoolKernel(Kernel):
+    """Max/average pooling as a tap loop over shifted strided views."""
+
+    def __init__(self, step: int, out_shape: Shape, layer, in_shape: Shape,
+                 tail: list):
+        super().__init__(step, out_shape)
+        self.pool = layer.pool
+        self.stride = layer.stride
+        self.is_max = isinstance(layer, MaxPool2D)
+        self.pad = _PadPlan(in_shape, (layer.pool, layer.pool), layer.stride,
+                            layer.padding)
+        _, _, self.postops = _tail_ops(tail, foldable=False)
+
+    def make_state(self, n: int):
+        return self.pad.make_buf(n, -np.inf if self.is_max else 0.0)
+
+    def run(self, ins, out, state):
+        xs = self.pad.apply(ins[0], state)
+        oh, ow, _ = self.out_shape
+        p, s = self.pool, self.stride
+        he, we = (oh - 1) * s + 1, (ow - 1) * s + 1
+        np.copyto(out, xs[:, 0:he:s, 0:we:s, :])
+        reduce = np.maximum if self.is_max else np.add
+        for i in range(p):
+            for j in range(p):
+                if i == 0 and j == 0:
+                    continue
+                reduce(out, xs[:, i:i + he:s, j:j + we:s, :], out=out)
+        if not self.is_max:
+            out *= 1.0 / (p * p)
+        for op in self.postops:
+            op(out)
+        return out
+
+
+class GlobalAvgPoolKernel(Kernel):
+    def __init__(self, step, out_shape, layer, in_shape, tail):
+        super().__init__(step, out_shape)
+        _, _, self.postops = _tail_ops(tail, foldable=False)
+
+    def run(self, ins, out, state):
+        ins[0].mean(axis=(1, 2), out=out)
+        for op in self.postops:
+            op(out)
+        return out
+
+
+class FlattenKernel(Kernel):
+    def __init__(self, step, out_shape, layer, in_shape, tail):
+        super().__init__(step, out_shape)
+        _, _, self.postops = _tail_ops(tail, foldable=False)
+
+    def run(self, ins, out, state):
+        n = ins[0].shape[0]
+        np.copyto(out.reshape(n, -1), ins[0].reshape(n, -1))
+        for op in self.postops:
+            op(out)
+        return out
+
+
+class SoftmaxKernel(Kernel):
+    def __init__(self, step, out_shape, layer, in_shape, tail):
+        super().__init__(step, out_shape)
+        _, _, self.postops = _tail_ops(tail, foldable=False)
+
+    def run(self, ins, out, state):
+        x = ins[0]
+        np.subtract(x, x.max(axis=-1, keepdims=True), out=out)
+        np.exp(out, out=out)
+        out /= out.sum(axis=-1, keepdims=True)
+        for op in self.postops:
+            op(out)
+        return out
+
+
+class AddKernel(Kernel):
+    def __init__(self, step, out_shape, layer, in_shape, tail):
+        super().__init__(step, out_shape)
+        _, _, self.postops = _tail_ops(tail, foldable=False)
+
+    def run(self, ins, out, state):
+        if len(ins) == 1:
+            np.copyto(out, ins[0])
+        else:
+            np.add(ins[0], ins[1], out=out)
+            for extra in ins[2:]:
+                out += extra
+        for op in self.postops:
+            op(out)
+        return out
+
+
+class ConcatKernel(Kernel):
+    def __init__(self, step, out_shape, layer, in_shape, tail):
+        super().__init__(step, out_shape)
+        _, _, self.postops = _tail_ops(tail, foldable=False)
+
+    def run(self, ins, out, state):
+        np.concatenate(ins, axis=-1, out=out)
+        for op in self.postops:
+            op(out)
+        return out
+
+
+class BatchNormKernel(Kernel):
+    """A batch norm that anchors its own group (producer has fan-out)."""
+
+    def __init__(self, step, out_shape, layer, in_shape, tail):
+        super().__init__(step, out_shape)
+        self.scale, self.shift = _bn_affine(layer)
+        _, _, self.postops = _tail_ops(tail, foldable=False)
+
+    def run(self, ins, out, state):
+        np.multiply(ins[0], self.scale, out=out)
+        out += self.shift
+        for op in self.postops:
+            op(out)
+        return out
+
+
+class ActivationKernel(Kernel):
+    """A ReLU/ReLU6/Dropout that anchors its own group."""
+
+    def __init__(self, step, out_shape, layer, in_shape, tail):
+        super().__init__(step, out_shape)
+        if isinstance(layer, ReLU6):
+            self.mode = "relu6"
+        elif isinstance(layer, ReLU):
+            self.mode = "relu"
+        else:
+            self.mode = "copy"  # inference-time dropout
+        _, _, self.postops = _tail_ops(tail, foldable=False)
+
+    def run(self, ins, out, state):
+        x = ins[0]
+        if self.mode == "relu":
+            np.maximum(x, 0.0, out=out)
+        elif self.mode == "relu6":
+            np.clip(x, 0.0, 6.0, out=out)
+        else:
+            np.copyto(out, x)
+        for op in self.postops:
+            op(out)
+        return out
+
+
+class FallbackKernel(Kernel):
+    """Generic per-layer execution for types without a fused kernel.
+
+    Only single-node groups can take this path (``fuse_kernels`` never
+    groups unknown layer types), so interpreted and compiled execution
+    remain node-for-node identical for exotic layers.
+    """
+
+    fused = False
+
+    def __init__(self, step, out_shape, layer, in_shape, tail):
+        super().__init__(step, out_shape)
+        if tail:  # pragma: no cover - fusion rules prevent this
+            raise TypeError("cannot fuse a tail behind an unknown anchor")
+        self.layer = layer
+
+    def run(self, ins, out, state):
+        return np.asarray(self.layer.forward(list(ins), training=False),
+                          dtype=np.float32)
+
+
+#: anchor layer type -> kernel class (the compute half of the fusion
+#: rules; :mod:`repro.nn.compile` holds the grouping half)
+KERNEL_TYPES: dict[type, type] = {
+    Conv2D: ConvKernel,
+    DepthwiseConv2D: DepthwiseConvKernel,
+    Dense: DenseKernel,
+    MaxPool2D: PoolKernel,
+    AvgPool2D: PoolKernel,
+    GlobalAvgPool: GlobalAvgPoolKernel,
+    Flatten: FlattenKernel,
+    Softmax: SoftmaxKernel,
+    Add: AddKernel,
+    Concat: ConcatKernel,
+    BatchNorm: BatchNormKernel,
+    ReLU: ActivationKernel,
+    ReLU6: ActivationKernel,
+    Dropout: ActivationKernel,
+}
+
+
+def build_kernel(step: int, anchor_layer, tail_layers: list,
+                 in_shape: Shape, out_shape: Shape) -> Kernel:
+    """Construct the fused kernel for one group (fallback for unknowns)."""
+    cls = KERNEL_TYPES.get(type(anchor_layer), FallbackKernel)
+    return cls(step, out_shape, anchor_layer, in_shape, tail_layers)

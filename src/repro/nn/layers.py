@@ -50,11 +50,28 @@ Shape = tuple[int, ...]
 
 
 class Parameter:
-    """A trainable tensor together with its accumulated gradient."""
+    """A trainable tensor together with its accumulated gradient.
+
+    Assignments through :attr:`value` bump :attr:`version`, which the
+    compiled forward path (:mod:`repro.nn.compile`) uses to detect weight
+    mutation and invalidate cached execution plans. Augmented updates
+    (``p.value -= g``) go through the setter too; only raw in-place writes
+    into the array (``p.value[...] = x``) escape it.
+    """
 
     def __init__(self, value: np.ndarray):
+        self.version = 0
         self.value = np.asarray(value, dtype=np.float32)
         self.grad = np.zeros_like(self.value)
+
+    @property
+    def value(self) -> np.ndarray:
+        return self._value
+
+    @value.setter
+    def value(self, v: np.ndarray) -> None:
+        self._value = np.asarray(v, dtype=np.float32)
+        self.version += 1
 
     @property
     def size(self) -> int:
@@ -375,6 +392,8 @@ class BatchNorm(Layer):
         self.eps = eps
         self.running_mean: np.ndarray | None = None
         self.running_var: np.ndarray | None = None
+        #: bumped whenever the running statistics move (plan invalidation)
+        self.stats_version = 0
         self._cache: tuple | None = None
 
     def build(self, in_shapes: list[Shape], rng: np.random.Generator) -> None:
@@ -397,6 +416,7 @@ class BatchNorm(Layer):
             m = self.momentum
             self.running_mean = m * self.running_mean + (1 - m) * mean
             self.running_var = m * self.running_var + (1 - m) * var
+            self.stats_version += 1
         else:
             mean, var = self.running_mean, self.running_var
         inv = 1.0 / np.sqrt(var + self.eps)

@@ -40,7 +40,7 @@ class LayerProfiler:
 
         with LayerProfiler(net, xavier()) as prof:
             for _ in range(120):
-                net.forward(x)
+                net.forward_one(x)
         table = prof.table()            # LatencyTable, warm-up discarded
         est = ProfilerEstimator(net, table)
 
@@ -217,9 +217,13 @@ def profile_forward(net: Network, spec: DeviceSpec,
         raise ValueError(f"need at least one recorded run, got {runs}")
     if x is None:
         x = np.zeros(net.input_shape, dtype=np.float32)
+    x = np.asarray(x)
+    # a single un-batched sample goes through the explicit single-sample
+    # API; anything batched profiles as one run per forward pass
+    run = net.forward_one if x.shape == net.input_shape else net.forward
     with LayerProfiler(net, spec, rng=rng, warmup=warmup,
                        **kwargs) as prof:
         prof.warm_up()
         for _ in range(runs):
-            net.forward(x)
+            run(x)
     return prof.table()

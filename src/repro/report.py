@@ -139,7 +139,8 @@ def _netcut_section(wb, exploration) -> str:
 
 
 def _serving_section(wb) -> str:
-    from repro.serve import Server, ServerConfig, TRNLadder, poisson_trace
+    from repro.serve import Server, ServerConfig, TRNLadder
+    from repro.workload import poisson_trace
     from repro.zoo import build_network
 
     base = build_network(wb.config.networks[0]).build(0)
@@ -172,7 +173,8 @@ def _serving_section(wb) -> str:
 def _observability_section(wb) -> str:
     from repro.estimators import ProfilerEstimator
     from repro.obs import DriftMonitor, Tracer, profile_forward
-    from repro.serve import Server, ServerConfig, TRNLadder, poisson_trace
+    from repro.serve import Server, ServerConfig, TRNLadder
+    from repro.workload import poisson_trace
     from repro.trim import enumerate_blockwise, removed_node_set
     from repro.zoo import build_network
 

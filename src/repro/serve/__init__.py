@@ -24,7 +24,15 @@ from .metrics import Counter, LatencyHistogram, ServerMetrics
 from .queue import EDFQueue
 from .request import COMPLETED, REJECTED, Request, Response
 from .server import Server, ServingResult
-from .trace import offered_load, poisson_trace, uniform_trace
+
+# the trace makers live in repro.workload now; re-exported here for
+# compatibility (imported from the source, not the deprecated
+# repro.serve.trace shim, so `import repro.serve` stays warning-free)
+from repro.workload.generators import (
+    offered_load,
+    poisson_trace,
+    uniform_trace,
+)
 
 __all__ = [
     "Server",

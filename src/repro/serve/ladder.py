@@ -45,6 +45,11 @@ class TRNRung:
     def __post_init__(self):
         if not self.network.built:
             raise ValueError(f"rung {self.name!r} network must be built")
+        # compile at load: serving rungs are frozen inference networks, so
+        # every forward goes through the fused static schedule (the
+        # interpreted walk remains reachable by attaching hooks, e.g. for
+        # repro.obs profiling, which falls back transparently)
+        self.network.compile()
         self.sampler = ServiceTimeSampler(
             self.network, self.spec,
             rng=stable_seed(self.name, self.spec.name))
@@ -64,6 +69,10 @@ class TRNRung:
     def forward(self, samples) -> np.ndarray:
         """Run the rung's network on a list of single samples, batched."""
         return self.network.forward_batch(samples)
+
+    def forward_one(self, x: np.ndarray) -> np.ndarray:
+        """Run the rung's network on exactly one un-batched sample."""
+        return self.network.forward_one(x)
 
 
 class TRNLadder:

@@ -5,16 +5,25 @@
 processes (diurnal cycles, flash crowds, MMPPs) they grew into — one
 traffic module instead of two. They are re-exported here unchanged
 (same signatures, same seeded draw order, byte-identical traces), so
-existing imports keep working; new code should import from
+existing imports keep working — but importing this module raises a
+:class:`DeprecationWarning`; new code should import from
 ``repro.workload``.
 """
 
 from __future__ import annotations
+
+import warnings
 
 from repro.workload.generators import (   # noqa: F401
     offered_load,
     poisson_trace,
     uniform_trace,
 )
+
+warnings.warn(
+    "repro.serve.trace is deprecated: poisson_trace, uniform_trace and "
+    "offered_load moved to repro.workload.generators (re-exported from "
+    "repro.workload). Update imports to `from repro.workload import ...`.",
+    DeprecationWarning, stacklevel=2)
 
 __all__ = ["poisson_trace", "uniform_trace", "offered_load"]

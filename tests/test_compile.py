@@ -1,0 +1,244 @@
+"""Tests for repro.nn.compile: fused schedule vs. the interpreted walk.
+
+Covers the three contracts the compiled forward path makes: numerical
+parity with the interpreter (every zoo network, batched and single
+sample), transparent plan invalidation (weight reassignment, structure
+edits, clones), and the fallback conditions (hooks, training, capture)
+under which forwards must route through the interpreted walk.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import make_tiny_net
+from repro.nn.compile import (
+    ANCHOR_TYPES,
+    FUSABLE_TYPES,
+    CompiledNetwork,
+    ExecutionPlan,
+    compile_network,
+    fuse_kernels,
+    state_signature,
+)
+from repro.nn.kernels import KERNEL_TYPES, FallbackKernel, build_kernel
+from repro.zoo import NETWORKS, build_network
+
+RTOL, ATOL = 1e-4, 1e-5
+
+
+def _batch(net, n, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((n,) + net.input_shape).astype(np.float32)
+
+
+class TestFusionDuality:
+    """Every pattern the latency model fuses must run as fused compute."""
+
+    def test_every_anchor_type_has_a_compute_kernel(self):
+        for anchor in ANCHOR_TYPES:
+            cls = KERNEL_TYPES.get(anchor)
+            assert cls is not None, f"no compute kernel for {anchor.__name__}"
+            assert cls is not FallbackKernel
+            assert cls.fused, f"{anchor.__name__} kernel is not fused compute"
+
+    def test_every_fusable_type_fuses_behind_a_conv(self, tiny_net):
+        # a conv followed by each fusable tail must build a fused kernel
+        from repro.nn.layers import Conv2D, Dropout
+
+        conv = None
+        for node in tiny_net.nodes.values():
+            if isinstance(node.layer, Conv2D):
+                conv = node
+                break
+        in_shape = tiny_net.in_shapes(conv.name)[0]
+        out_shape = tiny_net.shape_of(conv.name)
+        for tail_type in FUSABLE_TYPES:
+            tail = tail_type(0.5) if tail_type is Dropout else tail_type()
+            tail.build([out_shape], np.random.default_rng(0))
+            kernel = build_kernel(0, conv.layer, [tail], in_shape, out_shape)
+            assert kernel.fused, (
+                f"Conv2D+{tail_type.__name__} fell back to the interpreter "
+                "but repro.device.fusion prices it as one fused kernel")
+
+    def test_device_fusion_is_the_same_object(self):
+        # single source of truth: the latency model re-exports these
+        from repro.device import fusion as device_fusion
+
+        assert device_fusion.fuse_kernels is fuse_kernels
+        assert device_fusion.ANCHOR_TYPES is ANCHOR_TYPES
+        assert device_fusion.FUSABLE_TYPES is FUSABLE_TYPES
+
+    def test_compiled_steps_match_fusion_groups(self, tiny_net):
+        plan = ExecutionPlan(tiny_net)
+        groups = fuse_kernels(tiny_net, enabled=True)
+        assert [s.node_names for s in plan.steps] == [
+            g.node_names for g in groups]
+
+
+class TestZooParity:
+    """Compiled output == interpreted output on every zoo network."""
+
+    @pytest.mark.parametrize("name", NETWORKS)
+    def test_batched_parity(self, name):
+        net = build_network(name).build(0)
+        x = _batch(net, 2)
+        interp = net.forward(x)
+        net.compile()
+        assert net.compiled
+        compiled = net.forward(x)
+        np.testing.assert_allclose(compiled, interp, rtol=RTOL, atol=ATOL)
+
+    @pytest.mark.parametrize("name", NETWORKS)
+    def test_single_sample_parity(self, name):
+        net = build_network(name).build(0)
+        x = _batch(net, 1)[0]
+        interp = net.forward_one(x)
+        net.compile()
+        compiled = net.forward_one(x)
+        assert compiled.shape == interp.shape      # batch axis stays off
+        np.testing.assert_allclose(compiled, interp, rtol=RTOL, atol=ATOL)
+
+
+class TestCompiledExecution:
+    def test_forward_batch_routes_through_plan(self, tiny_net):
+        samples = list(_batch(tiny_net, 4))
+        interp = tiny_net.forward_batch(samples)
+        tiny_net.compile()
+        compiled = tiny_net.forward_batch(samples)
+        np.testing.assert_allclose(compiled, interp, rtol=RTOL, atol=ATOL)
+
+    def test_output_is_not_an_arena_view(self, tiny_net):
+        plan = tiny_net.compile()
+        x = _batch(tiny_net, 2)
+        first = plan.run(x)
+        snapshot = first.copy()
+        plan.run(_batch(tiny_net, 2, seed=1))      # would overwrite a view
+        np.testing.assert_array_equal(first, snapshot)
+
+    def test_arenas_cached_per_batch_size(self, tiny_net):
+        plan = tiny_net.compile()
+        plan.run(_batch(tiny_net, 2))
+        plan.run(_batch(tiny_net, 3))
+        assert set(plan._arenas) == {2, 3}
+        assert plan.arena_bytes > 0
+        a2 = plan._arenas[2]
+        plan.run(_batch(tiny_net, 2))
+        assert plan._arenas[2] is a2               # reused, not rebuilt
+
+    def test_arena_lru_is_bounded(self, tiny_net):
+        plan = tiny_net.compile()
+        for n in range(1, CompiledNetwork.MAX_ARENAS + 3):
+            plan.run(_batch(tiny_net, n))
+        assert len(plan._arenas) == CompiledNetwork.MAX_ARENAS
+
+    def test_run_rejects_unbatched_input(self, tiny_net):
+        plan = tiny_net.compile()
+        with pytest.raises(ValueError, match="batched"):
+            plan.run(np.zeros(tiny_net.input_shape, dtype=np.float32))
+
+    def test_describe_lists_every_step(self, tiny_net):
+        plan = tiny_net.compile()
+        text = plan.describe()
+        for step in plan.plan.steps:
+            assert step.name in text
+
+
+class TestPlanInvalidation:
+    def test_weight_reassignment_invalidates(self, tiny_net):
+        tiny_net.compile()
+        x = _batch(tiny_net, 2)
+        before = tiny_net.forward(x)
+        p = tiny_net.nodes["logits"].layer.params["w"]
+        p.value = p.value * 0.5                    # setter bumps the version
+        assert not tiny_net._compiled.valid
+        after = tiny_net.forward(x)                # transparent recompile
+        assert tiny_net._compiled.valid
+        assert not np.allclose(after, before)
+        tiny_net.uncompile()
+        np.testing.assert_allclose(after, tiny_net.forward(x),
+                                   rtol=RTOL, atol=ATOL)
+
+    def test_load_state_dict_invalidates(self, tiny_net):
+        tiny_net.compile()
+        sig = state_signature(tiny_net)
+        state = {k: v * 2.0 for k, v in tiny_net.state_dict().items()}
+        tiny_net.load_state_dict(state)
+        assert state_signature(tiny_net) != sig
+        assert not tiny_net._compiled.valid
+
+    def test_inplace_writes_escape_tracking(self, tiny_net):
+        # documented limitation: raw array writes need compile(force=True)
+        tiny_net.compile()
+        p = tiny_net.nodes["logits"].layer.params["w"]
+        p.value[...] = 0.0
+        assert tiny_net._compiled.valid            # signature cannot see it
+        plan = tiny_net.compile(force=True)
+        out = plan.run(_batch(tiny_net, 2))
+        tiny_net.uncompile()
+        np.testing.assert_allclose(out, tiny_net.forward(_batch(tiny_net, 2)),
+                                   rtol=RTOL, atol=ATOL)
+
+    def test_clones_start_uncompiled(self, tiny_net):
+        tiny_net.compile()
+        assert not tiny_net.copy().compiled
+        assert not tiny_net.subgraph("b2_add").compiled
+
+    def test_training_updates_bn_stats_and_invalidates(self, tiny_net):
+        tiny_net.compile()
+        tiny_net.forward(_batch(tiny_net, 4), training=True)
+        assert not tiny_net._compiled.valid
+        x = _batch(tiny_net, 2)
+        compiled = tiny_net.forward(x)             # recompiles with new stats
+        tiny_net.uncompile()
+        np.testing.assert_allclose(compiled, tiny_net.forward(x),
+                                   rtol=RTOL, atol=ATOL)
+
+
+class TestInterpreterFallback:
+    def test_hooks_fall_back_to_interpreted_walk(self, tiny_net):
+        tiny_net.compile()
+        seen = []
+        handle = tiny_net.register_forward_hook(
+            lambda net, node, ins, out: seen.append(node.name))
+        x = _batch(tiny_net, 2)
+        hooked = tiny_net.forward(x)
+        assert len(seen) == len(tiny_net.nodes)    # interpreter ran
+        tiny_net.remove_hook(handle)
+        seen.clear()
+        compiled = tiny_net.forward(x)
+        assert not seen                            # compiled path again
+        np.testing.assert_allclose(hooked, compiled, rtol=RTOL, atol=ATOL)
+
+    def test_capture_falls_back(self, tiny_net):
+        tiny_net.compile()
+        out, acts = tiny_net.forward(_batch(tiny_net, 2), capture=["b1_relu"])
+        assert "b1_relu" in acts
+
+    def test_compile_returns_cached_plan(self, tiny_net):
+        plan = tiny_net.compile()
+        assert tiny_net.compile() is plan
+        assert compile_network(tiny_net) is not plan
+
+
+class TestForwardOne:
+    def test_rejects_batched_input(self, tiny_net):
+        with pytest.raises(ValueError, match="forward_one expects"):
+            tiny_net.forward_one(_batch(tiny_net, 2))
+
+    def test_rejects_wrong_shape(self, tiny_net):
+        with pytest.raises(ValueError, match="forward_one expects"):
+            tiny_net.forward_one(np.zeros((4, 4, 3), dtype=np.float32))
+
+    def test_matches_implicit_single_sample_path(self, tiny_net):
+        x = _batch(tiny_net, 1)[0]
+        implicit = tiny_net.forward(x)             # legacy shape sniffing
+        explicit = tiny_net.forward_one(x)
+        np.testing.assert_array_equal(implicit, explicit)
+
+    def test_capture_stays_unbatched(self, tiny_net):
+        x = _batch(tiny_net, 1)[0]
+        out, acts = tiny_net.forward_one(x, capture=["b1_relu"])
+        assert out.shape == tiny_net.shape_of(tiny_net.output_name)
+        assert acts["b1_relu"].shape == tiny_net.shape_of("b1_relu")

@@ -70,3 +70,14 @@ class TestQuantizedNetwork:
         qnet = QuantizedNetwork(tiny_net, small_images)
         assert "logits" in qnet._weight_scales
         assert "logits" in qnet._act_scales
+
+    def test_forward_one_matches_batched_row(self, tiny_net, small_images):
+        qnet = QuantizedNetwork(tiny_net, small_images)
+        one = qnet.forward_one(small_images[0])
+        assert one.shape == qnet.forward(small_images)[0].shape
+        np.testing.assert_array_equal(one, qnet.forward(small_images[:1])[0])
+
+    def test_forward_one_rejects_batched_input(self, tiny_net, small_images):
+        qnet = QuantizedNetwork(tiny_net, small_images)
+        with pytest.raises(ValueError, match="forward_one expects"):
+            qnet.forward_one(small_images)
