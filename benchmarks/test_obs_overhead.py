@@ -32,7 +32,7 @@ import time
 import pytest
 
 from repro.device import xavier
-from repro.obs import DriftMonitor, Tracer
+from repro.obs import DriftMonitor, Telemetry, Tracer
 from repro.serve import Server, ServerConfig, TRNLadder, poisson_trace
 from repro.zoo import build_network
 
@@ -42,6 +42,11 @@ REQUESTS = 400
 DEADLINE_MS = 0.9
 OVERHEAD_BUDGET = 0.10      # traced inference serving: at most 10% more
 SIM_OVERHEAD_CEILING = 0.40  # simulator-only regime: gross-regression guard
+SIM_TELEMETRY_CEILING = 0.80  # telemetry maintains the whole labeled
+                              # surface (family mirrors + per-virtual-ms
+                              # store samples), so against the simulator's
+                              # ~75µs/request denominator it reads ~50%;
+                              # the ceiling only catches gross regressions
 EXEC_RUNS = 8               # runs per variant, execute=True (~0.4 s each)
 MEASURE_ATTEMPTS = 3        # re-measure on a budget violation: a machine
                             # load spike flakes one attempt, a genuine
@@ -140,6 +145,63 @@ def test_bench_tracing_overhead(ladder, trace, benchmark):
     assert result.metrics.snapshot() == untraced.metrics.snapshot()
     assert overhead < OVERHEAD_BUDGET
     assert sim_overhead < SIM_OVERHEAD_CEILING
+
+
+@pytest.mark.obs
+def test_bench_telemetry_overhead(ladder, trace):
+    """Labeled telemetry (families + sampling) adds <10% to inference.
+
+    Same protocol as the tracing benchmark: the telemetry path mirrors
+    every ``ServerMetrics`` event into labeled families, updates gauges
+    through registered collectors and samples the series store once per
+    virtual millisecond — all behind one ``if tele is not None`` guard,
+    so the unmetered path is untouched.
+    """
+    config = ServerConfig(deadline_ms=DEADLINE_MS, execute=True, seed=0)
+    plain = Server(ladder, config)
+    telemetry = Telemetry(sample_interval_ms=1.0)
+    metered = Server(ladder, config, telemetry=telemetry)
+
+    def plain_run():
+        return plain.run_trace(trace)
+
+    def metered_run():
+        return metered.run_trace(trace)
+
+    # telemetry's ring-buffer store is self-bounding, so there is nothing
+    # to clear between runs; hand the helper an unused placeholder tracer
+    base_s, tel_s, overhead = _measured_overhead(
+        plain_run, metered_run, Tracer(), EXEC_RUNS, OVERHEAD_BUDGET)
+
+    sim_config = ServerConfig(deadline_ms=DEADLINE_MS, execute=False, seed=0)
+    sim_plain = Server(ladder, sim_config)
+    sim_metered = Server(ladder, sim_config,
+                         telemetry=Telemetry(sample_interval_ms=1.0))
+    sim_base_s, sim_tel_s, sim_overhead = _measured_overhead(
+        lambda: sim_plain.run_trace(trace),
+        lambda: sim_metered.run_trace(trace), Tracer(), SIM_RUNS,
+        SIM_TELEMETRY_CEILING)
+
+    samples = telemetry.samples_taken
+    lines = [f"{'regime':16s} {'plain s':>11} {'metered s':>9} "
+             f"{'overhead':>9}",
+             f"{'inference':16s} {base_s:>11.4f} {tel_s:>9.4f} "
+             f"{100 * overhead:>+8.2f}% (budget "
+             f"{100 * OVERHEAD_BUDGET:.0f}%)",
+             f"{'simulator-only':16s} {sim_base_s:>11.4f} {sim_tel_s:>9.4f} "
+             f"{100 * sim_overhead:>+8.2f}% (ceiling "
+             f"{100 * SIM_TELEMETRY_CEILING:.0f}%)",
+             f"{len(telemetry.families)} metric families, "
+             f"{samples} store samples",
+             f"{REQUESTS} Poisson requests, deadline {DEADLINE_MS} ms, "
+             f"min over {EXEC_RUNS}/{SIM_RUNS} runs per variant in "
+             f"seeded-random order, seed 0"]
+    emit("obs_telemetry_overhead", lines)
+
+    # telemetry must not change the serving outcome, only observe it
+    assert metered_run().metrics.snapshot() == plain_run().metrics.snapshot()
+    assert overhead < OVERHEAD_BUDGET
+    assert sim_overhead < SIM_TELEMETRY_CEILING
 
 
 @pytest.mark.obs

@@ -10,9 +10,16 @@
 # at the repo root so the perf trajectory accumulates commit over commit.
 # (BENCH_forward.json is real wall-clock NumPy compute — its speedup and
 # parity columns are the stable signals, not the absolute samples/sec.)
+#
+# Every BENCH payload is also appended to RUNSTORE.sqlite (override with
+# REPRO_RUNSTORE), so two bench runs can be diffed with
+# `python -m repro obs compare A B --store RUNSTORE.sqlite`.
 set -eu
 
 cd "$(dirname "$0")/.."
+
+REPRO_RUNSTORE="${REPRO_RUNSTORE:-RUNSTORE.sqlite}"
+export REPRO_RUNSTORE
 
 PYTHONHASHSEED=random PYTHONPATH=src python -m pytest \
     benchmarks/test_serve_throughput.py \
@@ -22,6 +29,25 @@ PYTHONHASHSEED=random PYTHONPATH=src python -m pytest \
     benchmarks/test_workload_slo.py \
     -q --benchmark-disable "$@"
 
-PYTHONPATH=src python scripts/bench_serve.py
+PYTHONPATH=src python scripts/bench_serve.py --store "$REPRO_RUNSTORE"
 PYTHONPATH=src python scripts/bench_workload.py
 PYTHONPATH=src python scripts/bench_forward.py
+
+# archive every BENCH payload as one run-store row: regressions become a
+# `repro obs compare` query instead of a JSON diff
+PYTHONPATH=src python - <<'EOF'
+import glob
+import json
+import os
+
+from repro.obs import RunStore
+
+payloads = {os.path.basename(path)[:-5]: json.load(open(path))
+            for path in sorted(glob.glob("BENCH_*.json"))}
+with RunStore(os.environ["REPRO_RUNSTORE"]) as store:
+    run_id = store.add_run("bench.smoke",
+                           meta={"files": ",".join(sorted(payloads))},
+                           artifacts=payloads)
+print(f"archived {len(payloads)} BENCH payloads as run #{run_id} "
+      f"in {os.environ['REPRO_RUNSTORE']}")
+EOF

@@ -3,8 +3,11 @@
 Runs every zoo network through both forward paths — the interpreted
 node walk and the compiled fused schedule (``Network.compile()``) — and
 writes ``BENCH_forward.json`` at the repo root: samples/sec per network
-and batch size for each path, the compiled/interpreted speedup, and a
-numerical-parity verdict (``allclose``) per network.
+and batch size for each path, the compiled/interpreted speedup, a
+numerical-parity verdict (``allclose``) per network, and — at batch 1,
+via the plan's opt-in timing hooks — the mean wall-clock latency of
+every fused kernel (``kernels_ms``), so a kernel-level regression shows
+up as one moved key instead of a diffuse slowdown.
 
 Unlike the serving benchmarks this one is real wall-clock compute
 (NumPy kernels), so absolute numbers vary across machines; the
@@ -36,6 +39,7 @@ WARMUP = 5
 MIN_REPS = 5
 MIN_SECONDS = 0.25
 WINDOWS = 4
+KERNEL_REPS = 32            # timed forwards for the per-kernel breakdown
 SEED = 0
 
 
@@ -87,6 +91,17 @@ def bench_network(name: str) -> dict:
             "compiled_sps": round(compiled_sps, 2),
             "speedup": round(compiled_sps / interp_sps, 3),
         }
+        if batch == 1:
+            # per-fused-kernel breakdown in the real-time regime: opt-in
+            # plan timing, mean wall-clock per step over KERNEL_REPS runs
+            plan.enable_timing()
+            for _ in range(KERNEL_REPS):
+                net.forward(x)
+            table = plan.latency_table()
+            plan.disable_timing()
+            out["kernels_ms"] = {r.anchor: round(r.recorded_ms, 6)
+                                 for r in table.records}
+            out["kernel_total_ms"] = round(table.end_to_end_ms, 6)
     out["allclose"] = allclose
     out["speedup"] = out["batches"]["1"]["speedup"]   # real-time headline
     out["plan_steps"] = len(plan.plan.steps)

@@ -8,11 +8,18 @@ p2c-deadline cluster. Everything is virtual-time and seeded, so the
 numbers are a property of the code, not of the machine running CI —
 two commits produce different JSON only when serving behaviour changed.
 
+With ``--store PATH`` (default: the ``REPRO_RUNSTORE`` environment
+variable) the run is also appended to a :class:`repro.obs.RunStore`
+SQLite archive — telemetry series from the cluster run plus the BENCH
+payload — so two invocations across commits can be diffed with
+``python -m repro obs compare A B --store PATH``.
+
 Run via scripts/bench.sh, or directly:
 
-    PYTHONPATH=src python scripts/bench_serve.py
+    PYTHONPATH=src python scripts/bench_serve.py [--store RUNSTORE.sqlite]
 """
 
+import argparse
 import json
 import os
 import sys
@@ -22,6 +29,7 @@ sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
 
 from repro.cluster import Router, homogeneous_replicas, make_policy  # noqa: E402
 from repro.device import xavier  # noqa: E402
+from repro.obs import RunStore, Telemetry  # noqa: E402
 from repro.serve import ServerConfig  # noqa: E402
 from repro.workload import poisson_trace  # noqa: E402
 from repro.zoo import build_network  # noqa: E402
@@ -48,7 +56,14 @@ def measure(result, trace):
     }
 
 
-def main() -> None:
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--store", default=os.environ.get("REPRO_RUNSTORE"),
+                        metavar="PATH",
+                        help="append the run (telemetry + payload) to this "
+                             "SQLite run store (default: $REPRO_RUNSTORE)")
+    args = parser.parse_args(argv)
+
     base = build_network("mobilenet_v1_0.5").build(0)
     config = ServerConfig(deadline_ms=DEADLINE_MS, execute=False, seed=SEED,
                           queue_capacity=64, window=16, min_observations=8,
@@ -56,11 +71,18 @@ def main() -> None:
     trace = poisson_trace(REQUESTS, RATE_RPS, DEADLINE_MS, rng=SEED)
 
     runs = {}
+    telemetries = {}
     for name, n in (("serve_1x", 1), ("cluster_3x_p2c", 3)):
+        # telemetry observes the run without perturbing it (sampling is
+        # read-only), so the BENCH payload is --store-independent
+        telemetry = Telemetry(sample_interval_ms=1.0) if args.store else None
         replicas = homogeneous_replicas(base, xavier(), n, config,
-                                        num_classes=5, max_rungs=6)
-        result = Router(replicas, make_policy("p2c-deadline", SEED)).run(trace)
+                                        num_classes=5, max_rungs=6,
+                                        telemetry=telemetry)
+        result = Router(replicas, make_policy("p2c-deadline", SEED),
+                        telemetry=telemetry).run(trace)
         runs[name] = measure(result, trace)
+        telemetries[name] = telemetry
 
     payload = {
         "benchmark": "serve-cluster-scaleout",
@@ -86,6 +108,16 @@ def main() -> None:
         fh.write("\n")
     print(f"wrote {out}")
     print(json.dumps(payload, indent=2, sort_keys=True))
+
+    if args.store:
+        with RunStore(args.store) as store:
+            run_id = store.add_run(
+                "bench.serve", meta=dict(payload["scenario"]),
+                telemetry=telemetries["cluster_3x_p2c"],
+                artifacts={"BENCH_serve": payload})
+        print(f"archived as run #{run_id} in {args.store} "
+              f"(diff runs: python -m repro obs compare A B "
+              f"--store {args.store})")
 
 
 if __name__ == "__main__":

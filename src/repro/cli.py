@@ -12,6 +12,8 @@ Usage (after installation, or via ``python -m repro.cli``):
     python -m repro.cli profile --net resnet --cutpoint 3
     python -m repro.cli trace --out serve.jsonl --chrome serve.trace.json
     python -m repro.cli faults --scenario straggler-storm --compare
+    python -m repro.cli obs alerts                # SLO burn-rate timeline
+    python -m repro.cli obs compare 1 2 --store RUNSTORE.sqlite
 
 (``python -m repro ...`` is an equivalent spelling of every command.)
 
@@ -561,6 +563,150 @@ def cmd_cluster(args) -> int:
     return 0
 
 
+def _default_store() -> str:
+    import os
+
+    return os.environ.get("REPRO_RUNSTORE", "RUNSTORE.sqlite")
+
+
+def cmd_obs(args) -> int:
+    """Telemetry workflows: exposition, burn-rate alerts, the run store.
+
+    ``expose`` replays a serve trace with labeled telemetry attached and
+    prints the OpenMetrics text exposition (pipe it to a scraper or a
+    file). ``alerts`` replays a chaos scenario against an *undefended*
+    pinned-rung engine with the canonical SLO burn-rate rules attached
+    and prints the firing/resolved timeline — exit status 1 if any alert
+    is still firing when the trace drains. ``runs`` lists the archived
+    runs of a SQLite run store and ``compare`` diffs two of them, biggest
+    relative movers first.
+    """
+    from repro.obs import (
+        AlertEngine,
+        RunStore,
+        Telemetry,
+        default_slo_rules,
+        to_json,
+        to_openmetrics,
+    )
+
+    if args.obs_cmd == "runs":
+        import os
+        import time as _time
+
+        path = args.store or _default_store()
+        if not os.path.exists(path):
+            raise SystemExit(
+                f"run store {path!r} does not exist; record one with "
+                "scripts/bench_serve.py --store or repro obs alerts --store")
+        with RunStore(path) as store:
+            rows = store.runs(kind=args.kind)
+            if not rows:
+                what = f" of kind {args.kind!r}" if args.kind else ""
+                print(f"{path}: no runs{what}")
+                return 0
+            print(f"{path}: {len(rows)} run(s)")
+            for row in rows:
+                stamp = _time.strftime("%Y-%m-%d %H:%M:%S",
+                                       _time.gmtime(row["created"]))
+                meta = " ".join(f"{k}={v}"
+                                for k, v in sorted(row["meta"].items()))
+                print(f"  #{row['id']:<4d} {row['kind']:18s} {stamp}  {meta}")
+        return 0
+
+    if args.obs_cmd == "compare":
+        path = args.store or _default_store()
+        with RunStore(path) as store:
+            try:
+                rows = store.compare(args.run_a, args.run_b)
+            except KeyError as exc:
+                raise SystemExit(str(exc.args[0]))
+        movers = [r for r in rows if r["rel"]]
+        print(f"run #{args.run_a} vs run #{args.run_b}: "
+              f"{len(rows)} keys, {len(movers)} moved "
+              f"(top {min(args.top, len(rows))} by |relative change|)")
+        print(f"{'key':52s} {'a':>12} {'b':>12} {'rel':>9}")
+
+        def cell(v) -> str:
+            return "-" if v is None else f"{v:12.4g}"
+
+        for row in rows[:args.top]:
+            rel = row["rel"]
+            rel_s = "-" if rel is None else f"{100 * rel:+8.1f}%"
+            print(f"{row['key'][:52]:52s} {cell(row['a']):>12} "
+                  f"{cell(row['b']):>12} {rel_s:>9}")
+        return 0
+
+    # expose / alerts: one telemetered serving replay
+    from repro.device import xavier
+    from repro.serve import Server, ServerConfig, TRNLadder
+    from repro.workload import poisson_trace
+    from repro.zoo import build_network
+
+    device = xavier()
+    base = build_network(_resolve_net(args.net)).build(0)
+    ladder = TRNLadder.from_base(base, device, num_classes=5,
+                                 max_rungs=args.max_rungs)
+    full_est = ladder.rungs[0].estimate_ms(1)
+    telemetry = Telemetry(sample_interval_ms=args.sample_ms)
+
+    if args.obs_cmd == "expose":
+        rate = args.rate if args.rate else 1.3e3 / full_est
+        trace = poisson_trace(args.requests, rate, args.deadline_ms,
+                              rng=args.seed)
+        config = ServerConfig(deadline_ms=args.deadline_ms, execute=False,
+                              seed=args.seed)
+        Server(ladder, config, telemetry=telemetry).run_trace(trace)
+        if args.json:
+            import json
+
+            with open(args.json, "w") as fh:
+                json.dump(to_json(telemetry), fh, sort_keys=True)
+            print(f"wrote JSON export to {args.json}", file=sys.stderr)
+        # exposition only on stdout: scrape-able / pipe-able
+        sys.stdout.write(to_openmetrics(telemetry))
+        return 0
+
+    # alerts: chaos replay with the SLO burn-rate rules attached.  The
+    # engine is pinned to the full rung and undefended so the storm's
+    # misses actually reach the series (the calibrated defaults fire
+    # both rules mid-storm and resolve them in the quiet tail).
+    from repro.faults import build_scenario
+
+    rate = args.rate if args.rate else 0.65e3 / full_est
+    trace = poisson_trace(args.requests, rate, args.deadline_ms,
+                          rng=args.seed)
+    span_ms = trace[-1].arrival_ms if trace else 0.0
+    scenario = build_scenario(args.scenario, span_ms * 0.5,
+                              seed=args.fault_seed)
+    engine = AlertEngine(default_slo_rules(args.deadline_ms,
+                                           miss_budget=args.miss_budget,
+                                           fast_ms=args.fast_ms,
+                                           slow_ms=args.slow_ms))
+    telemetry.attach_alerts(engine)
+    config = ServerConfig(deadline_ms=args.deadline_ms, execute=False,
+                          seed=args.seed, adaptive=False)
+    server = Server(ladder, config, faults=scenario.injector(),
+                    telemetry=telemetry)
+    result = server.run_trace(trace)
+
+    print(scenario.describe())
+    print(f"\n{args.requests} Poisson requests @ {rate:,.0f} req/s, "
+          f"deadline {args.deadline_ms} ms, seed {args.seed} "
+          "(pinned full rung, resilience off)")
+    print("\n" + engine.report())
+    print("\n" + result.metrics.report())
+    if args.store:
+        with RunStore(args.store) as store:
+            run_id = store.add_run(
+                "obs.alerts", telemetry=telemetry,
+                meta={"net": args.net, "scenario": args.scenario,
+                      "seed": args.seed, "deadline_ms": args.deadline_ms},
+                artifacts={"alerts": engine.snapshot()})
+        print(f"\narchived as run #{run_id} in {args.store}")
+    return 1 if engine.active else 0
+
+
 def cmd_figures(args) -> int:
     """List every reproduced figure/claim and its benchmark."""
     from repro.figures import EXPERIMENTS
@@ -756,6 +902,69 @@ def build_parser() -> argparse.ArgumentParser:
                     help="plan the smallest fleet with every tenant at "
                          "or under this miss rate")
 
+    p = sub.add_parser("obs",
+                       help="telemetry: exposition, alerts, run store")
+    osub = p.add_subparsers(dest="obs_cmd", required=True)
+
+    def _obs_serve_common(op):
+        op.add_argument("--net", default="mobilenet_v1_0.5",
+                        help="zoo network (exact name, prefix, substring)")
+        op.add_argument("--requests", type=int, default=400)
+        op.add_argument("--rate", type=float, default=None,
+                        help="offered load in requests/s")
+        op.add_argument("--max-rungs", type=int, default=6,
+                        dest="max_rungs")
+        op.add_argument("--sample-ms", type=float, default=1.0,
+                        dest="sample_ms",
+                        help="telemetry sampling interval (virtual ms)")
+
+    op = osub.add_parser("expose",
+                         help="serve with telemetry, print OpenMetrics text")
+    _obs_serve_common(op)
+    op.add_argument("--deadline-ms", type=float, default=0.9,
+                    dest="deadline_ms")
+    op.add_argument("--json", default=None, metavar="PATH",
+                    help="also write the JSON export (metrics + series)")
+    op.add_argument("--seed", type=int, default=0)
+
+    op = osub.add_parser("alerts",
+                         help="burn-rate alert timeline on a chaos replay "
+                              "(exit 1 if still firing at drain)")
+    _obs_serve_common(op)
+    op.set_defaults(requests=800)
+    op.add_argument("--deadline-ms", type=float, default=2.5,
+                    dest="deadline_ms")
+    op.add_argument("--scenario", default="straggler-storm",
+                    choices=sorted(SCENARIOS),
+                    help="chaos scenario over the first half of the trace")
+    op.add_argument("--miss-budget", type=float, default=0.05,
+                    dest="miss_budget",
+                    help="SLO deadline-miss budget (fraction of completions)")
+    op.add_argument("--fast-ms", type=float, default=8.0, dest="fast_ms",
+                    help="fast burn-rate window (virtual ms)")
+    op.add_argument("--slow-ms", type=float, default=24.0, dest="slow_ms",
+                    help="slow burn-rate window (virtual ms)")
+    op.add_argument("--store", default=None, metavar="PATH",
+                    help="archive the run in this SQLite run store")
+    op.add_argument("--seed", type=int, default=2)
+    op.add_argument("--fault-seed", type=int, default=0, dest="fault_seed")
+
+    op = osub.add_parser("runs", help="list runs archived in a run store")
+    op.add_argument("--store", default=None, metavar="PATH",
+                    help="SQLite path (default: $REPRO_RUNSTORE or "
+                         "RUNSTORE.sqlite)")
+    op.add_argument("--kind", default=None,
+                    help="only runs of this kind (e.g. bench.serve)")
+
+    op = osub.add_parser("compare", help="diff two archived runs")
+    op.add_argument("run_a", type=int, help="baseline run id")
+    op.add_argument("run_b", type=int, help="candidate run id")
+    op.add_argument("--store", default=None, metavar="PATH",
+                    help="SQLite path (default: $REPRO_RUNSTORE or "
+                         "RUNSTORE.sqlite)")
+    op.add_argument("--top", type=int, default=20,
+                    help="rows to print (biggest relative movers first)")
+
     p = sub.add_parser("profile",
                        help="per-layer latency table via forward hooks")
     p.add_argument("--net", default="mobilenet_v1_0.5",
@@ -809,6 +1018,7 @@ _COMMANDS = {
     "faults": cmd_faults,
     "cluster": cmd_cluster,
     "workload": cmd_workload,
+    "obs": cmd_obs,
 }
 
 

@@ -70,6 +70,9 @@ class Autoscaler:
         self.config = config or AutoscalerConfig()
         self._last_check_ms = 0.0
         self._last_action_ms = -self.config.cooldown_ms
+        # published for metrics/telemetry gauges; (0, 0) until the first
+        # interval-gated evaluation actually computes the fleet signals
+        self.last_signals = (0.0, 0.0)
         self._completed = 0
         self._missed = 0
         self._calm_streak = 0

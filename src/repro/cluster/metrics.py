@@ -15,7 +15,8 @@ from __future__ import annotations
 import copy
 from dataclasses import dataclass
 
-from repro.serve.metrics import Counter, ServerMetrics
+from repro.obs.telemetry import Counter
+from repro.serve.metrics import ServerMetrics
 
 __all__ = ["ScaleEvent", "ClusterMetrics"]
 
@@ -47,28 +48,69 @@ class ClusterMetrics:
     COUNTERS = ("arrived", "routed", "no_replica", "scale_ups",
                 "scale_downs")
 
-    def __init__(self, replicas: list):
+    def __init__(self, replicas: list, telemetry=None):
         self.replicas = replicas
         self.counters = {name: Counter(name) for name in self.COUNTERS}
         self.per_replica: dict[str, int] = {}
         self.scale_events: list[ScaleEvent] = []
+        self.telemetry = telemetry
+        if telemetry is not None:
+            events = telemetry.counter(
+                "cluster_requests_total",
+                "cluster-level routing events", ("event",))
+            self._events = {e: events.child((e,))
+                            for e in ("arrived", "routed", "no_replica")}
+            self._routed_family = telemetry.counter(
+                "cluster_routed_total",
+                "requests dispatched per replica", ("replica",))
+            self._scale_family = telemetry.counter(
+                "cluster_scale_events_total",
+                "autoscaler actions", ("action",))
+            self._routed_children: dict[str, Counter] = {}
 
     # -- recording -----------------------------------------------------------
     def record_arrival(self) -> None:
         self.counters["arrived"].increment()
+        if self.telemetry is not None:
+            self._events["arrived"].increment()
 
     def record_routed(self, replica: str) -> None:
         self.counters["routed"].increment()
         self.per_replica[replica] = self.per_replica.get(replica, 0) + 1
+        if self.telemetry is not None:
+            self._events["routed"].increment()
+            child = self._routed_children.get(replica)
+            if child is None:
+                child = self._routed_children[replica] = \
+                    self._routed_family.child((replica,))
+            child.increment()
 
     def record_no_replica(self) -> None:
         """One request dropped because no replica could take it."""
         self.counters["no_replica"].increment()
+        if self.telemetry is not None:
+            self._events["no_replica"].increment()
 
     def record_scale(self, event: ScaleEvent) -> None:
         key = "scale_ups" if event.action == "scale-up" else "scale_downs"
         self.counters[key].increment()
         self.scale_events.append(event)
+        if self.telemetry is not None:
+            self._scale_family.child((event.action,)).increment()
+
+    # -- time-series roll-up -------------------------------------------------
+    def merged_series(self, name: str) -> dict:
+        """One fleet-wide series per label set, summed across replicas.
+
+        The time-series counterpart of :meth:`aggregate`: replicas sample
+        at their own instants, so their per-replica series (label
+        ``replica=<name>``) are summed as step functions — see
+        :meth:`repro.obs.telemetry.TimeSeriesStore.merged`. Requires the
+        cluster to have been run with a telemetry attached.
+        """
+        if self.telemetry is None:
+            raise ValueError("cluster was run without telemetry")
+        return self.telemetry.store.merged(name, drop_label="replica")
 
     # -- roll-up -------------------------------------------------------------
     def aggregate(self) -> ServerMetrics:

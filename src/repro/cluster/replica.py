@@ -71,13 +71,18 @@ class Replica:
 
     def __init__(self, name: str, ladder: TRNLadder,
                  config: ServerConfig | None = None,
-                 tracer=None, drift=None, faults=None):
+                 tracer=None, drift=None, faults=None, telemetry=None):
         self.name = name
         self.config = config or ServerConfig()
         self.tracer = None if tracer is None else ReplicaTracer(name, tracer)
         ladder.reset(0)
         self.ladder = ladder if faults is None else faults.wrap(ladder)
-        self.metrics = ServerMetrics(self.config.deadline_ms)
+        # the shared telemetry sees this replica's series under a
+        # replica=<name> label, the cluster analogue of ReplicaTracer
+        self.metrics = ServerMetrics(self.config.deadline_ms,
+                                     telemetry=telemetry,
+                                     labels=None if telemetry is None
+                                     else {"replica": name})
         self.engine = Engine(self.ladder, self.config, self.metrics,
                              tracer=self.tracer, drift=drift, faults=faults)
         self.clock_ms = 0.0
@@ -152,14 +157,19 @@ class Replica:
         self.advance(float("inf"))
         for resp in self.engine.drain(self.clock_ms):
             self.responses[resp.rid] = resp
+        telemetry = self.engine._telemetry
+        if telemetry is not None:
+            # closing sample: the replica's final counter values land in
+            # the series even when it went idle between sampling instants
+            telemetry.sample(self.clock_ms)
 
 
 def homogeneous_replicas(base, spec, n: int,
                          config: ServerConfig | None = None,
                          num_classes: int = 5, max_rungs: int = 6,
                          tracer=None, drift=None,
-                         faults: dict[int, object] | None = None
-                         ) -> list[Replica]:
+                         faults: dict[int, object] | None = None,
+                         telemetry=None) -> list[Replica]:
     """Build ``n`` identical replicas, each with its own ladder and seed.
 
     Every replica gets a fresh :class:`repro.serve.TRNLadder` from the
@@ -177,5 +187,6 @@ def homogeneous_replicas(base, spec, n: int,
         replicas.append(Replica(
             f"r{i}", ladder, replace(config, seed=config.seed + i),
             tracer=tracer, drift=drift,
-            faults=None if faults is None else faults.get(i)))
+            faults=None if faults is None else faults.get(i),
+            telemetry=telemetry))
     return replicas

@@ -74,13 +74,38 @@ class Router:
     """
 
     def __init__(self, replicas: list[Replica], policy: RoutingPolicy,
-                 autoscaler: Autoscaler | None = None, tracer=None):
+                 autoscaler: Autoscaler | None = None, tracer=None,
+                 telemetry=None):
         self.replicas = list(replicas)
         self.policy = policy
         self.autoscaler = autoscaler
         self.tracer = tracer
-        self.metrics = ClusterMetrics(self.replicas)
+        self.telemetry = telemetry
+        self.metrics = ClusterMetrics(self.replicas, telemetry=telemetry)
         self._spawned = len(self.replicas)
+        if telemetry is not None:
+            self._g_replicas = telemetry.gauge(
+                "cluster_replicas", "fleet size").child(())
+            self._g_healthy = telemetry.gauge(
+                "cluster_healthy_replicas",
+                "replicas accepting traffic").child(())
+            self._g_miss = telemetry.gauge(
+                "cluster_autoscaler_miss_rate",
+                "fleet miss rate the autoscaler last saw").child(())
+            self._g_load = telemetry.gauge(
+                "cluster_autoscaler_mean_load",
+                "mean per-replica load the autoscaler last saw").child(())
+            telemetry.collector("cluster", self._collect_telemetry)
+
+    def _collect_telemetry(self, now_ms: float) -> None:
+        self._g_replicas.set(float(len(self.replicas)))
+        # healthy() only *reads* breaker state (would_allow), so probing
+        # the fleet at sample time cannot perturb the run
+        self._g_healthy.set(float(len(self.routable(now_ms))))
+        if self.autoscaler is not None:
+            miss_rate, mean_load = self.autoscaler.last_signals
+            self._g_miss.set(miss_rate)
+            self._g_load.set(mean_load)
 
     def routable(self, now_ms: float) -> list[Replica]:
         """Replicas that may receive new traffic at ``now_ms``."""
@@ -120,6 +145,8 @@ class Router:
             for replica in self.replicas:
                 replica.advance(now)
             self._autoscale(now)
+            if self.telemetry is not None:
+                self.telemetry.maybe_sample(now)
             self.metrics.record_arrival()
             target = self.policy.choose(self.routable(now), req, now)
             if target is None:

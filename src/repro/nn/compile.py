@@ -31,6 +31,7 @@ uncompiled. Forward passes with hooks attached, ``training=True`` or
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -299,6 +300,8 @@ class CompiledNetwork:
         self.plan = ExecutionPlan(net)
         self.signature = state_signature(net)
         self._arenas: dict[int, _Arena] = {}
+        self._times: dict[str, list] | None = None
+        self._step_names = tuple(step.name for step in self.plan.steps)
 
     @property
     def valid(self) -> bool:
@@ -324,6 +327,8 @@ class CompiledNetwork:
         arena = self._arena(x.shape[0])
         values: list = [None] * self.plan.num_values
         values[0] = x
+        if self._times is not None:
+            return self._run_timed(arena, values)
         for kernel, ins, dynamic, out, state, out_id in arena.program:
             for pos, vid in dynamic:
                 ins[pos] = values[vid]
@@ -333,6 +338,88 @@ class CompiledNetwork:
         return values[self.out_value].copy()
 
     __call__ = run
+
+    def _run_timed(self, arena: _Arena, values: list) -> np.ndarray:
+        """The instrumented twin of the hot loop: one clock read per step.
+
+        Numerically identical to :meth:`run` (same kernels, same arenas);
+        the only extra work is two ``perf_counter`` calls and a dict
+        update per step, accumulated into ``{step name: [calls,
+        total_ms]}`` until :meth:`drain_kernel_times` collects them.
+        """
+        perf = time.perf_counter
+        times = self._times
+        names = self._step_names
+        for i, (kernel, ins, dynamic, out, state, out_id) \
+                in enumerate(arena.program):
+            for pos, vid in dynamic:
+                ins[pos] = values[vid]
+            t0 = perf()
+            values[out_id] = kernel.run(ins, out, state)
+            dt_ms = (perf() - t0) * 1e3
+            rec = times.get(names[i])
+            if rec is None:
+                times[names[i]] = [1, dt_ms]
+            else:
+                rec[0] += 1
+                rec[1] += dt_ms
+        return values[self.out_value].copy()
+
+    # -- per-kernel timing ---------------------------------------------------
+    @property
+    def timing_enabled(self) -> bool:
+        return self._times is not None
+
+    def enable_timing(self) -> None:
+        """Time every kernel launch (wall clock) until disabled.
+
+        Opt-in because even two clock reads per step are measurable on
+        sub-millisecond networks; the untimed hot loop is untouched.
+        """
+        if self._times is None:
+            self._times = {}
+
+    def disable_timing(self) -> None:
+        self._times = None
+
+    def kernel_times_ms(self) -> dict[str, tuple[int, float]]:
+        """Accumulated ``{step name: (calls, total_ms)}`` since last drain."""
+        if not self._times:
+            return {}
+        return {name: (calls, total) for name, (calls, total)
+                in self._times.items()}
+
+    def drain_kernel_times(self) -> dict[str, tuple[int, float]]:
+        """Like :meth:`kernel_times_ms`, but resets the accumulators."""
+        out = self.kernel_times_ms()
+        if self._times:
+            self._times.clear()
+        return out
+
+    def latency_table(self, device: str = "wall-clock"):
+        """The accumulated timings as a :class:`repro.device.LatencyTable`.
+
+        One :class:`~repro.device.profiler.LayerRecord` per timed step
+        (mean ms per launch, anchored at the step's first node), in plan
+        order — the same shape the :class:`repro.obs.LayerProfiler`
+        produces, so drift monitoring and ladder rebuilds can consume
+        measurements from the *compiled* path too. ``end_to_end_ms`` is
+        the per-kernel mean total (launch gaps are not observable here).
+        """
+        from repro.device.profiler import LatencyTable, LayerRecord
+        times = self.kernel_times_ms()
+        records = []
+        for step in self.plan.steps:
+            rec = times.get(step.name)
+            if rec is None:
+                continue
+            calls, total = rec
+            records.append(LayerRecord(step.name, tuple(step.node_names),
+                                       total / calls))
+        return LatencyTable(
+            network=getattr(self.net, "name", "network"),
+            device=device, records=tuple(records),
+            end_to_end_ms=sum(r.recorded_ms for r in records))
 
     @property
     def out_value(self) -> int:

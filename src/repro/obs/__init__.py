@@ -19,19 +19,46 @@ instrumentation first-class:
   rolling relative error crosses a threshold.
 - :class:`MetricsRegistry` — one ``snapshot()``/``report()`` namespace
   over serve metrics, trace statistics, drift state and custom gauges.
+- :class:`Telemetry` — labeled metric families (:class:`Counter` /
+  :class:`Gauge` / :class:`LatencyHistogram` children keyed by
+  ``tenant``/``rung``/``replica``/``kernel`` labels) backed by a
+  ring-buffer :class:`TimeSeriesStore` sampled on the virtual clock, with
+  OpenMetrics text exposition (:func:`to_openmetrics`) and JSON export
+  (:func:`to_json`).
+- :class:`AlertEngine` — multi-window SLO burn-rate alerting
+  (:class:`BurnRateRule`, :func:`default_slo_rules`) over the store,
+  firing/resolving deterministically in virtual time.
+- :class:`RunStore` — a SQLite archive of runs (metadata, final metrics,
+  series, BENCH payloads) with ``runs``/``series``/``compare`` queries.
 
 Attach to a server with plain keyword arguments::
 
     tracer, drift = Tracer(), DriftMonitor()
-    server = Server(ladder, config, tracer=tracer, drift=drift)
+    telemetry = Telemetry(sample_interval_ms=1.0)
+    telemetry.attach_alerts(AlertEngine(default_slo_rules(0.9)))
+    server = Server(ladder, config, tracer=tracer, drift=drift,
+                    telemetry=telemetry)
     server.run_trace(trace)
+    print(to_openmetrics(telemetry))
     write_chrome_trace(tracer, "serve.trace.json")
 """
 
+from .alerts import AlertEngine, AlertEvent, BurnRateRule, default_slo_rules
 from .drift import DriftEvent, DriftMonitor
 from .export import chrome_trace, to_jsonl, write_chrome_trace, write_jsonl
 from .profiler import LayerProfiler, profile_forward
-from .registry import Gauge, MetricsRegistry
+from .registry import MetricsRegistry
+from .store import RunStore
+from .telemetry import (
+    Counter,
+    Gauge,
+    LatencyHistogram,
+    MetricFamily,
+    Telemetry,
+    TimeSeriesStore,
+    to_json,
+    to_openmetrics,
+)
 from .tracing import Span, TraceBuffer, Tracer
 
 __all__ = [
@@ -46,6 +73,18 @@ __all__ = [
     "write_chrome_trace",
     "DriftEvent",
     "DriftMonitor",
+    "Counter",
     "Gauge",
+    "LatencyHistogram",
+    "MetricFamily",
+    "TimeSeriesStore",
+    "Telemetry",
+    "to_openmetrics",
+    "to_json",
+    "BurnRateRule",
+    "AlertEvent",
+    "AlertEngine",
+    "default_slo_rules",
     "MetricsRegistry",
+    "RunStore",
 ]

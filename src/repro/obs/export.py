@@ -33,9 +33,28 @@ def _json_default(obj):
                     "is not JSON serializable")
 
 
+def _finite(obj):
+    """Replace non-finite floats with None, recursively.
+
+    ``json.dumps`` never routes floats through ``default`` — it writes the
+    bare ``NaN``/``Infinity`` literals, which are not JSON and break every
+    strict parser downstream. Same convention as
+    :mod:`repro.workload.recording`: non-finite becomes ``null``.
+    """
+    if isinstance(obj, float):
+        return obj if obj == obj and abs(obj) != float("inf") else None
+    if isinstance(obj, dict):
+        return {k: _finite(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_finite(v) for v in obj]
+    if hasattr(obj, "item") and isinstance(obj.item(), float):
+        return _finite(obj.item())
+    return obj
+
+
 def to_jsonl(source: Tracer | Iterable[Span]) -> str:
-    """Render spans as JSON Lines (sorted keys: deterministic bytes)."""
-    return "\n".join(json.dumps(s.as_dict(), sort_keys=True,
+    """Render spans as JSON Lines (sorted keys, NaN→null: stable bytes)."""
+    return "\n".join(json.dumps(_finite(s.as_dict()), sort_keys=True,
                                 default=_json_default)
                      for s in _spans(source))
 

@@ -15,25 +15,10 @@ live metrics.
 from __future__ import annotations
 
 import copy
-from dataclasses import dataclass
 
-from repro.serve.metrics import Counter, LatencyHistogram
+from .telemetry import Counter, Gauge, LatencyHistogram
 
 __all__ = ["Gauge", "MetricsRegistry"]
-
-
-@dataclass
-class Gauge:
-    """A named value that goes up and down (queue depth, current rung, ...)."""
-
-    name: str
-    value: float = 0.0
-
-    def set(self, value: float) -> None:
-        self.value = value
-
-    def snapshot(self) -> float:
-        return self.value
 
 
 class MetricsRegistry:

@@ -1,0 +1,268 @@
+"""A persistent run store: serving/bench runs as queryable SQLite rows.
+
+``BENCH_*.json`` files are point-in-time artifacts; the :class:`RunStore`
+turns them (plus any telemetry surface) into a *trajectory*: every
+serve/cluster/bench run appends one ``runs`` row with its metadata, the
+final value of every metric series (``summary``), the sampled
+time-series points (``series``) and any JSON payloads (``artifacts``).
+CI's bench-smoke job appends each commit's BENCH files, so regressions
+become a query instead of an artifact diff.
+
+Only the standard library is used (``sqlite3``, ``json``); the schema is
+created on first open and is append-only — :meth:`RunStore.compare`
+diffs two runs without mutating either.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import time
+
+__all__ = ["RunStore"]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS runs (
+    id INTEGER PRIMARY KEY AUTOINCREMENT,
+    kind TEXT NOT NULL,
+    created REAL NOT NULL,
+    meta TEXT NOT NULL DEFAULT '{}'
+);
+CREATE TABLE IF NOT EXISTS summary (
+    run_id INTEGER NOT NULL REFERENCES runs(id),
+    metric TEXT NOT NULL,
+    labels TEXT NOT NULL DEFAULT '{}',
+    value REAL
+);
+CREATE TABLE IF NOT EXISTS series (
+    run_id INTEGER NOT NULL REFERENCES runs(id),
+    metric TEXT NOT NULL,
+    labels TEXT NOT NULL DEFAULT '{}',
+    t_ms REAL NOT NULL,
+    value REAL
+);
+CREATE TABLE IF NOT EXISTS artifacts (
+    run_id INTEGER NOT NULL REFERENCES runs(id),
+    name TEXT NOT NULL,
+    payload TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_summary_run ON summary(run_id);
+CREATE INDEX IF NOT EXISTS idx_series_run ON series(run_id, metric);
+CREATE INDEX IF NOT EXISTS idx_artifacts_run ON artifacts(run_id);
+"""
+
+
+def _labels_json(labels) -> str:
+    if not labels:
+        return "{}"
+    if isinstance(labels, tuple):
+        labels = dict(labels)
+    return json.dumps(labels, sort_keys=True)
+
+
+def _numeric_leaves(obj, prefix: str = "") -> dict[str, float]:
+    """Flatten every numeric leaf of a JSON payload to ``dotted.path``."""
+    out: dict[str, float] = {}
+    if isinstance(obj, bool):
+        return out
+    if isinstance(obj, (int, float)):
+        out[prefix or "value"] = float(obj)
+    elif isinstance(obj, dict):
+        for key in sorted(obj):
+            path = f"{prefix}.{key}" if prefix else str(key)
+            out.update(_numeric_leaves(obj[key], path))
+    elif isinstance(obj, list):
+        for i, item in enumerate(obj):
+            out.update(_numeric_leaves(item, f"{prefix}[{i}]"))
+    return out
+
+
+class RunStore:
+    """Append-only SQLite store of runs, final metrics, series, payloads.
+
+    ::
+
+        store = RunStore("RUNSTORE.sqlite")
+        run_id = store.add_run("bench.serve", meta={"seed": 0},
+                               telemetry=telemetry,
+                               artifacts={"BENCH_serve": payload})
+        for row in store.compare(run_a, run_b)[:10]:
+            print(row)
+
+    ``telemetry`` may be a :class:`repro.obs.telemetry.Telemetry` (its
+    families become the summary, its store the series) or ``None``.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        self._conn = sqlite3.connect(path)
+        self._conn.executescript(_SCHEMA)
+        self._conn.commit()
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "RunStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- writing -------------------------------------------------------------
+    def _summarize(self, run_id: int, telemetry) -> list[tuple]:
+        rows = []
+        for name, fam in sorted(telemetry.families.items()):
+            for labels, child in sorted(fam.children()):
+                lj = _labels_json(labels)
+                if fam.kind == "histogram":
+                    snap = child.snapshot()
+                    for stat in ("count", "mean_ms", "p50_ms", "p99_ms"):
+                        v = snap[stat]
+                        rows.append((run_id, f"{name}_{stat}", lj,
+                                     None if v != v else float(v)))
+                else:
+                    rows.append((run_id, name, lj, float(child.value)))
+        return rows
+
+    def add_run(self, kind: str, meta: dict | None = None, telemetry=None,
+                artifacts: dict[str, dict] | None = None,
+                summary: dict[str, float] | None = None) -> int:
+        """Append one run; returns its id.
+
+        ``summary`` adds free-form final scalars (unlabeled) on top of
+        whatever ``telemetry`` contributes; ``artifacts`` maps names to
+        JSON-able payloads (e.g. a BENCH_*.json dict).
+        """
+        cur = self._conn.cursor()
+        cur.execute(
+            "INSERT INTO runs (kind, created, meta) VALUES (?, ?, ?)",
+            (kind, time.time(), json.dumps(meta or {}, sort_keys=True)))
+        run_id = cur.lastrowid
+        rows: list[tuple] = []
+        if telemetry is not None:
+            rows.extend(self._summarize(run_id, telemetry))
+            cur.executemany(
+                "INSERT INTO series (run_id, metric, labels, t_ms, value)"
+                " VALUES (?, ?, ?, ?, ?)",
+                [(run_id, name, _labels_json(key), t, float(v))
+                 for name in telemetry.store.names()
+                 for key in telemetry.store.keys(name)
+                 for t, v in telemetry.store.series(name, key)])
+        for metric, value in sorted((summary or {}).items()):
+            rows.append((run_id, metric, "{}",
+                         None if value != value else float(value)))
+        if rows:
+            cur.executemany(
+                "INSERT INTO summary (run_id, metric, labels, value)"
+                " VALUES (?, ?, ?, ?)", rows)
+        for name, payload in sorted((artifacts or {}).items()):
+            cur.execute(
+                "INSERT INTO artifacts (run_id, name, payload)"
+                " VALUES (?, ?, ?)",
+                (run_id, name, json.dumps(payload, sort_keys=True)))
+        self._conn.commit()
+        return run_id
+
+    # -- querying ------------------------------------------------------------
+    def runs(self, kind: str | None = None) -> list[dict]:
+        """Every run (newest last), optionally filtered by kind."""
+        sql = "SELECT id, kind, created, meta FROM runs"
+        params: tuple = ()
+        if kind is not None:
+            sql += " WHERE kind = ?"
+            params = (kind,)
+        sql += " ORDER BY id"
+        return [{"id": rid, "kind": k, "created": created,
+                 "meta": json.loads(meta)}
+                for rid, k, created, meta
+                in self._conn.execute(sql, params)]
+
+    def run(self, run_id: int) -> dict | None:
+        rows = self.runs()
+        for row in rows:
+            if row["id"] == run_id:
+                return row
+        return None
+
+    def summary(self, run_id: int) -> dict[str, float]:
+        """Final metric values of one run, keyed ``metric{labels}``."""
+        out = {}
+        for metric, labels, value in self._conn.execute(
+                "SELECT metric, labels, value FROM summary"
+                " WHERE run_id = ? ORDER BY metric, labels", (run_id,)):
+            key = metric if labels == "{}" else f"{metric}{labels}"
+            out[key] = value
+        return out
+
+    def series(self, run_id: int, metric: str,
+               labels: dict | None = None) -> list[tuple[float, float]]:
+        """The stored points of one series of one run."""
+        sql = ("SELECT t_ms, value FROM series WHERE run_id = ?"
+               " AND metric = ?")
+        params: list = [run_id, metric]
+        if labels is not None:
+            sql += " AND labels = ?"
+            params.append(_labels_json(labels))
+        sql += " ORDER BY t_ms"
+        return [(t, v) for t, v in self._conn.execute(sql, params)]
+
+    def series_names(self, run_id: int) -> list[str]:
+        return [m for (m,) in self._conn.execute(
+            "SELECT DISTINCT metric FROM series WHERE run_id = ?"
+            " ORDER BY metric", (run_id,))]
+
+    def artifacts(self, run_id: int) -> dict[str, dict]:
+        return {name: json.loads(payload)
+                for name, payload in self._conn.execute(
+                    "SELECT name, payload FROM artifacts WHERE run_id = ?"
+                    " ORDER BY name", (run_id,))}
+
+    def compare(self, run_a: int, run_b: int) -> list[dict]:
+        """Diff two runs: summary metrics plus artifact numeric leaves.
+
+        Returns one row per key present in either run —
+        ``{key, a, b, delta, rel}`` — sorted by descending absolute
+        relative change (the biggest movers first), ties and
+        both-missing keys last in key order.
+        """
+        for rid in (run_a, run_b):
+            if self.run(rid) is None:
+                raise KeyError(f"run {rid} not in {self.path}")
+
+        def surface(rid: int) -> dict[str, float]:
+            out = dict(self.summary(rid))
+            for name, payload in self.artifacts(rid).items():
+                for path, value in _numeric_leaves(payload).items():
+                    out[f"{name}:{path}"] = value
+            return out
+
+        a, b = surface(run_a), surface(run_b)
+        rows = []
+        for key in sorted(set(a) | set(b)):
+            va, vb = a.get(key), b.get(key)
+            delta = rel = None
+            if va is not None and vb is not None:
+                delta = vb - va
+                if va:
+                    rel = delta / abs(va)
+                elif delta:
+                    rel = float("inf") if delta > 0 else float("-inf")
+                else:
+                    rel = 0.0
+            rows.append({"key": key, "a": va, "b": vb,
+                         "delta": delta, "rel": rel})
+
+        def order(row: dict):
+            rel = row["rel"]
+            if rel is None:
+                return (1, 0.0, row["key"])
+            mag = abs(rel) if rel == rel else 0.0
+            if mag == float("inf"):
+                mag = float("1e18")
+            return (0, -mag, row["key"])
+
+        rows.sort(key=order)
+        return rows

@@ -24,10 +24,14 @@ class MicroBatcher:
     ``tracer`` (e.g. :class:`repro.obs.Tracer`) receives one ``batch``
     span per formed batch carrying the batch size; the engine's matching
     ``forward`` span carries the member rids and executed rung.
+    ``on_form`` (a callable ``(size, stop)``, e.g.
+    :meth:`repro.serve.metrics.ServeTelemetry.batch_stop`) is invoked once
+    per formed batch with the stop reason, feeding the labeled
+    stop-reason counters.
     """
 
     def __init__(self, max_batch: int = 8, slack_margin_ms: float = 0.0,
-                 tracer=None):
+                 tracer=None, on_form=None):
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         if slack_margin_ms < 0:
@@ -36,6 +40,7 @@ class MicroBatcher:
         self.slack_margin_ms = slack_margin_ms
         self.tracer = tracer
         self._emit = None if tracer is None else tracer.emit
+        self._on_form = on_form
 
     def _fits(self, batch: list[Request], now_ms: float,
               est_ms: float) -> bool:
@@ -65,7 +70,7 @@ class MicroBatcher:
                 stop = "deadline-fit"
                 break
             batch.append(queue.pop())
-        if self._emit is not None:
+        if self._emit is not None or self._on_form is not None:
             # member rids ride the engine's matching "forward" span; the
             # batched estimate and stop reason are stamped here because
             # only the batcher knows *why* growth stopped (estimate_ms at
@@ -73,8 +78,11 @@ class MicroBatcher:
             if stop is None:
                 stop = ("max-batch" if len(batch) == self.max_batch
                         else "queue-empty")
-            self._emit("batch", "batch", now_ms, 0.0, None,
-                       {"size": len(batch),
-                        "est_ms": rung.estimate_ms(len(batch)),
-                        "stop": stop})
+            if self._on_form is not None:
+                self._on_form(len(batch), stop)
+            if self._emit is not None:
+                self._emit("batch", "batch", now_ms, 0.0, None,
+                           {"size": len(batch),
+                            "est_ms": rung.estimate_ms(len(batch)),
+                            "stop": stop})
         return batch

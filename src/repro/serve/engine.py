@@ -64,6 +64,7 @@ class ServerConfig:
     rate_window: int = 64             # arrivals used for rate estimation
     warm_start: bool = True           # skip the device's cold-start ramp
     execute: bool = True              # run real forwards (False = timing only)
+    kernel_timing: bool = False       # time compiled kernels per batch
     seed: int = 0
     # -- resilience (see repro.faults) --------------------------------------
     resilience: bool = False          # timeouts/retries/breakers on or off
@@ -111,9 +112,19 @@ class Engine:
                     cooldown_ms=config.breaker_cooldown_ms,
                     listener=self._on_breaker_event)
                 for rung in ladder.rungs}
-        self.queue = EDFQueue(config.queue_capacity, tracer=tracer)
-        self.batcher = MicroBatcher(config.max_batch, config.batch_slack_ms,
-                                    tracer=tracer)
+        # telemetry rides on the metrics object: ServerMetrics owns the
+        # ServeTelemetry handle bundle (per-run labels included) and the
+        # engine wires its own components against the same bound children
+        self._tele = metrics.tele
+        self._telemetry = None if self._tele is None \
+            else self._tele.telemetry
+        self.queue = EDFQueue(
+            config.queue_capacity, tracer=tracer,
+            depth_gauge=None if self._tele is None
+            else self._tele.queue_depth)
+        self.batcher = MicroBatcher(
+            config.max_batch, config.batch_slack_ms, tracer=tracer,
+            on_form=None if self._tele is None else self._tele.batch_stop)
         self.controller = (HysteresisController(
             config.deadline_ms, window=config.window,
             min_observations=config.min_observations,
@@ -135,6 +146,20 @@ class Engine:
                 # the paper's 200-run warm-up, so serving starts past the
                 # clock ramp instead of degrading on cold-start stragglers
                 rung.sampler.warm_up(200)
+        self._kernel_timing = False
+        if config.kernel_timing:
+            for rung in ladder.rungs:
+                net = getattr(rung, "network", None)
+                compiled = None if net is None else net.compile()
+                if compiled is not None:
+                    compiled.enable_timing()
+                    self._kernel_timing = True
+        if self._tele is not None:
+            # keyed registration: a fresh engine on the same telemetry
+            # (next run, or this replica rebuilt) replaces its
+            # predecessor's collector instead of piling up stale ones
+            self._telemetry.collector(
+                "engine:" + self._tele.suffix, self._collect_telemetry)
 
     # -- admission -----------------------------------------------------------
     def _admission_estimate_ms(self) -> float:
@@ -184,6 +209,43 @@ class Engine:
                     if req.tenant is not None:
                         args["tenant"] = req.tenant
                     self._emit("drop", "serve", now_ms, 0.0, req.rid, args)
+
+    # -- telemetry -----------------------------------------------------------
+    def _collect_telemetry(self, now_ms: float) -> None:
+        """Refresh the engine's gauges just before a telemetry sample.
+
+        Queue depth is already live (the queue sets its own gauge on every
+        push/pop); everything that is derived — ladder cursor, windowed
+        p99, offered rate, tenant shares — is computed here, once per
+        sample instead of once per request.
+        """
+        tele = self._tele
+        tele.rung_index.set(float(self.ladder.current_index))
+        tele.recent_p99.set(tele.recent_quantile(0.99))
+        rate = self._recent_rate_per_ms()
+        tele.arrival_rate.set(0.0 if rate is None else rate * 1e3)
+        policy = self.admission_policy
+        if policy is not None and hasattr(policy, "share_of"):
+            for tenant in sorted(policy.weights):
+                share, fair = tele.share_gauges(tenant)
+                share.set(policy.share_of(tenant))
+                fair.set(policy.fair_share_of(tenant))
+
+    def _record_kernel_times(self, rung) -> None:
+        """Drain one executed batch's per-kernel wall-clock times.
+
+        ``drain_kernel_times`` returns ``{step name: (calls, total_ms)}``
+        accumulated since the previous drain; the mean per call goes into
+        the ``kernel_latency_ms{kernel, rung}`` histogram — the same
+        per-anchor granularity :class:`repro.device.profiler.LatencyTable`
+        uses, so drift monitoring and ladder rebuilds can consume it.
+        """
+        net = getattr(rung, "network", None)
+        compiled = None if net is None else net._compiled
+        if compiled is None or not compiled.timing_enabled:
+            return
+        for name, (calls, total_ms) in compiled.drain_kernel_times().items():
+            self._tele.observe_kernel(name, rung.name, total_ms / calls)
 
     # -- ladder control ------------------------------------------------------
     def _recent_rate_per_ms(self) -> float | None:
@@ -266,7 +328,7 @@ class Engine:
     # -- resilience ----------------------------------------------------------
     def _on_breaker_event(self, event) -> None:
         """Count and trace one circuit-breaker transition."""
-        self.metrics.record_breaker(event.to_state)
+        self.metrics.record_breaker(event.to_state, event.rung)
         if self.tracer is not None:
             self.tracer.instant("breaker", "faults", event.time_ms,
                                 rung=event.rung, frm=event.from_state,
@@ -441,6 +503,8 @@ class Engine:
         outputs = None
         if self.config.execute and all(r.x is not None for r in batch):
             outputs = rung.forward([r.x for r in batch])
+            if self._kernel_timing and self._tele is not None:
+                self._record_kernel_times(rung)
         self.metrics.record_batch(len(batch))
         if self._emit is not None:
             # a tuple of ints (unlike a list) leaves the span record
@@ -501,8 +565,12 @@ class Engine:
                 self._tick_faults(now)
             self._admit(pending, now, responses)
             if not len(self.queue):
+                if self._telemetry is not None:
+                    self._telemetry.maybe_sample(now)
                 continue
             now = self._serve_step(now, responses)
+            if self._telemetry is not None:
+                self._telemetry.maybe_sample(now)
         return now
 
     def run(self, trace: list[Request],
@@ -521,6 +589,10 @@ class Engine:
         now = self.run_until(pending, responses, 0.0, until)
         for resp in self.drain(now):
             responses[resp.rid] = resp
+        if self._telemetry is not None:
+            # one closing sample so the final counter values are in the
+            # series even when the run ends between sampling instants
+            self._telemetry.sample(now)
         return [responses[r.rid] for r in trace if r.rid in responses]
 
     def _observe_drift(self, predicted_ms: float, observed_ms: float,

@@ -6,125 +6,26 @@ out of the bin boundaries, so memory stays O(bins) no matter how long a
 trace runs. :meth:`ServerMetrics.snapshot` returns a plain dict (the
 monitoring surface) and :meth:`ServerMetrics.report` renders it as the text
 block the CLI prints.
+
+:class:`Counter` and :class:`LatencyHistogram` live canonically in
+:mod:`repro.obs.telemetry` (one implementation for serve, cluster and the
+registry) and are re-exported here for compatibility. When a
+:class:`repro.obs.Telemetry` is attached, :class:`ServerMetrics` mirrors
+every recording into labeled metric families (``tenant``/``rung``/
+``event`` label sets, plus any extra labels such as ``replica``) through
+a :class:`ServeTelemetry` handle bundle — snapshots and reports are
+unchanged, the labeled series ride alongside.
 """
 
 from __future__ import annotations
 
 import copy
-import math
+from collections import deque
 from dataclasses import dataclass
 
-__all__ = ["Counter", "LatencyHistogram", "ServerMetrics"]
+from repro.obs.telemetry import Counter, LatencyHistogram
 
-
-@dataclass
-class Counter:
-    """A monotonically increasing named counter."""
-
-    name: str
-    value: int = 0
-
-    def increment(self, n: int = 1) -> None:
-        self.value += n
-
-
-class LatencyHistogram:
-    """Streaming histogram over log-spaced bins (default 1 µs .. 10 s).
-
-    Quantiles are estimated as the geometric midpoint of the bin holding
-    the requested rank, which bounds the relative error by the bin ratio
-    (~12% at 20 bins/decade) without retaining samples.
-    """
-
-    def __init__(self, lo_ms: float = 1e-3, hi_ms: float = 1e4,
-                 bins_per_decade: int = 20):
-        self.lo_ms = lo_ms
-        self.hi_ms = hi_ms
-        decades = math.log10(hi_ms / lo_ms)
-        self.n_bins = int(round(decades * bins_per_decade))
-        self._ratio = (hi_ms / lo_ms) ** (1.0 / self.n_bins)
-        # two extra bins catch under/overflow
-        self.counts = [0] * (self.n_bins + 2)
-        self.count = 0
-        self.total_ms = 0.0
-        self.min_ms = float("inf")
-        self.max_ms = 0.0
-
-    def _bin(self, ms: float) -> int:
-        if ms < self.lo_ms:
-            return 0
-        if ms >= self.hi_ms:
-            return self.n_bins + 1
-        return 1 + int(math.log(ms / self.lo_ms) / math.log(self._ratio))
-
-    def observe(self, ms: float) -> None:
-        """Record one latency sample (milliseconds)."""
-        self.counts[self._bin(ms)] += 1
-        self.count += 1
-        self.total_ms += ms
-        self.min_ms = min(self.min_ms, ms)
-        self.max_ms = max(self.max_ms, ms)
-
-    @property
-    def mean_ms(self) -> float:
-        return self.total_ms / self.count if self.count else float("nan")
-
-    def merge(self, other: "LatencyHistogram") -> None:
-        """Fold another histogram's samples into this one (cluster roll-up).
-
-        Bin-exact because both histograms share the log-spaced layout;
-        histograms with different bounds or resolutions cannot be merged
-        without re-binning, so that is rejected.
-        """
-        if (other.lo_ms, other.hi_ms, other.n_bins) != \
-                (self.lo_ms, self.hi_ms, self.n_bins):
-            raise ValueError("cannot merge histograms with different bins")
-        for i, c in enumerate(other.counts):
-            self.counts[i] += c
-        self.count += other.count
-        self.total_ms += other.total_ms
-        self.min_ms = min(self.min_ms, other.min_ms)
-        self.max_ms = max(self.max_ms, other.max_ms)
-
-    def quantile(self, q: float) -> float:
-        """Approximate q-quantile (q in [0, 1]) in milliseconds.
-
-        The under/overflow bins have no geometric midpoint (their inner
-        edge is the only boundary known), so they clamp to ``lo_ms`` and
-        ``max_ms`` respectively — further bounded by the observed
-        min/max, which keeps the estimate sane when every sample falls
-        outside the binned range.
-        """
-        if not 0.0 <= q <= 1.0:
-            raise ValueError(f"quantile {q} outside [0, 1]")
-        if self.count == 0:
-            return float("nan")
-        rank = q * (self.count - 1)
-        cum = 0
-        for i, c in enumerate(self.counts):
-            cum += c
-            if cum > rank:
-                if i == 0:                      # underflow: all < lo_ms
-                    return min(self.lo_ms, self.max_ms)
-                if i == self.n_bins + 1:        # overflow: clamp to max
-                    return self.max_ms
-                lo = self.lo_ms * self._ratio ** (i - 1)
-                return min(max(lo * math.sqrt(self._ratio), self.min_ms),
-                           self.max_ms)
-        return self.max_ms
-
-    def snapshot(self) -> dict:
-        """Summary statistics as a plain dict."""
-        empty = self.count == 0
-        return {
-            "count": self.count,
-            "mean_ms": self.mean_ms,
-            "min_ms": float("nan") if empty else self.min_ms,
-            "max_ms": float("nan") if empty else self.max_ms,
-            "p50_ms": self.quantile(0.50),
-            "p95_ms": self.quantile(0.95),
-            "p99_ms": self.quantile(0.99),
-        }
+__all__ = ["Counter", "LatencyHistogram", "ServeTelemetry", "ServerMetrics"]
 
 
 @dataclass
@@ -137,6 +38,163 @@ class DegradationEvent:
     to_rung: str
 
 
+class ServeTelemetry:
+    """Bound label handles into one Telemetry for one serving run.
+
+    Resolving a labeled child costs a tuple build and a dict lookup;
+    doing that per request would be measurable, so the fixed-label
+    children (life-cycle event counters) are resolved once here and hot
+    paths increment bound handles. Children that depend on runtime
+    values (tenant, rung, kernel) go through small per-instance caches.
+
+    ``labels`` adds fixed extra labels to every family (the cluster
+    layer passes ``{"replica": name}``); every serving stack sharing one
+    :class:`~repro.obs.telemetry.Telemetry` must use the same extra
+    label *keys*, or family schemas would disagree.
+    """
+
+    REQUEST_EVENTS = ("arrived", "admitted", "rejected", "completed",
+                      "deadline_miss", "dropped")
+    ENGINE_EVENTS = ("batch", "timeout", "retry", "fault",
+                     "degrade", "upgrade")
+
+    def __init__(self, telemetry, labels: dict | None = None):
+        self.telemetry = telemetry
+        self.labels = {str(k): str(v) for k, v in (labels or {}).items()}
+        names = tuple(sorted(self.labels))
+        self._extra = tuple(self.labels[n] for n in names)
+        self.suffix = ",".join(f"{k}={self.labels[k]}" for k in names)
+
+        requests = telemetry.counter(
+            "serve_requests_total",
+            "requests by life-cycle event", ("event",) + names)
+        engine_events = telemetry.counter(
+            "serve_engine_events_total",
+            "engine-internal events (batches, retries, transitions)",
+            ("event",) + names)
+        self._requests = {e: requests.child((e,) + self._extra)
+                          for e in self.REQUEST_EVENTS}
+        self._engine = {e: engine_events.child((e,) + self._extra)
+                        for e in self.ENGINE_EVENTS}
+        self._tenant_family = telemetry.counter(
+            "serve_tenant_requests_total",
+            "per-tenant requests by life-cycle event",
+            ("tenant", "event") + names)
+        self._breaker_family = telemetry.counter(
+            "serve_breaker_transitions_total",
+            "circuit-breaker transitions by rung and new state",
+            ("rung", "state") + names)
+        self._latency_family = telemetry.histogram(
+            "serve_latency_ms", "end-to-end response latency",
+            ("rung",) + names)
+        self._queue_wait = telemetry.histogram(
+            "serve_queue_wait_ms", "time between arrival and batch start",
+            names).child(self._extra)
+        self._batch_size = telemetry.histogram(
+            "serve_batch_size", "formed micro-batch occupancy",
+            names).child(self._extra)
+        self._stops_family = telemetry.counter(
+            "serve_batch_stops_total",
+            "why micro-batch growth stopped", ("stop",) + names)
+        self._kernel_family = telemetry.histogram(
+            "kernel_latency_ms",
+            "per-fused-kernel wall-clock latency of compiled forwards",
+            ("kernel", "rung") + names)
+
+        gauge = telemetry.gauge
+        self.queue_depth = gauge(
+            "serve_queue_depth", "EDF queue depth", names).child(self._extra)
+        self.rung_index = gauge(
+            "serve_rung_index", "ladder cursor (0 = most accurate)",
+            names).child(self._extra)
+        self.recent_p99 = gauge(
+            "serve_recent_p99_ms", "p99 latency over the recent window",
+            names).child(self._extra)
+        self.arrival_rate = gauge(
+            "serve_arrival_rate_rps", "recent offered arrival rate",
+            names).child(self._extra)
+        self._share_family = gauge(
+            "serve_admission_share",
+            "tenant share of the recent admission window",
+            ("tenant",) + names)
+        self._fair_share_family = gauge(
+            "serve_fair_share", "tenant weighted-fair admission guarantee",
+            ("tenant",) + names)
+
+        self._tenant_children: dict[tuple[str, str], Counter] = {}
+        self._stop_children: dict[str, Counter] = {}
+        self._latency_children: dict[str, LatencyHistogram] = {}
+        self._kernel_children: dict[tuple[str, str], LatencyHistogram] = {}
+        self.recent = deque(maxlen=256)
+
+    # -- hot-path recording (called by ServerMetrics / Engine) ---------------
+    def event(self, name: str) -> None:
+        self._requests[name].increment()
+
+    def engine_event(self, name: str) -> None:
+        self._engine[name].increment()
+
+    def tenant_event(self, tenant: str, event: str) -> None:
+        child = self._tenant_children.get((tenant, event))
+        if child is None:
+            child = self._tenant_children[(tenant, event)] = \
+                self._tenant_family.child((tenant, event) + self._extra)
+        child.increment()
+
+    def observe_response(self, rung: str | None, latency_ms: float,
+                         queue_ms: float) -> None:
+        key = rung or ""
+        hist = self._latency_children.get(key)
+        if hist is None:
+            hist = self._latency_children[key] = \
+                self._latency_family.child((key,) + self._extra)
+        hist.observe(latency_ms)
+        self._queue_wait.observe(queue_ms)
+        self.recent.append(latency_ms)
+
+    def observe_batch(self, size: int) -> None:
+        self._engine["batch"].increment()
+        self._batch_size.observe(size)
+
+    def batch_stop(self, size: int, stop: str) -> None:
+        """Batcher hook: count why batch growth stopped (labeled)."""
+        child = self._stop_children.get(stop)
+        if child is None:
+            child = self._stop_children[stop] = \
+                self._stops_family.child((stop,) + self._extra)
+        child.increment()
+
+    def observe_kernel(self, kernel: str, rung: str, ms: float) -> None:
+        hist = self._kernel_children.get((kernel, rung))
+        if hist is None:
+            hist = self._kernel_children[(kernel, rung)] = \
+                self._kernel_family.child((kernel, rung) + self._extra)
+        hist.observe(ms)
+
+    def breaker(self, rung: str, to_state: str) -> None:
+        self._breaker_family.child(
+            (rung, to_state) + self._extra).increment()
+
+    def share_gauges(self, tenant: str):
+        """The (admitted-share, fair-share) gauges for one tenant."""
+        return (self._share_family.child((tenant,) + self._extra),
+                self._fair_share_family.child((tenant,) + self._extra))
+
+    def recent_quantile(self, q: float) -> float:
+        """Quantile of the recent-latency window (the honest windowed p99).
+
+        Exact over the retained window (at most 256 samples), unlike the
+        run-cumulative histogram — which is the point: the gauge tracks
+        *current* tail latency, so burn-rate windows see storms begin
+        and end.
+        """
+        if not self.recent:
+            return 0.0
+        ordered = sorted(self.recent)
+        rank = int(q * (len(ordered) - 1))
+        return ordered[rank]
+
+
 class ServerMetrics:
     """All counters and histograms of one serving run.
 
@@ -146,6 +204,12 @@ class ServerMetrics:
     drops and a latency sum) surfaced under ``snapshot()["tenants"]`` —
     the observability needed to tell *whose* deadline a busy server is
     sacrificing.
+
+    ``telemetry`` (a :class:`repro.obs.Telemetry`) additionally mirrors
+    every recording into labeled metric families via
+    :class:`ServeTelemetry`; ``labels`` adds fixed labels (e.g.
+    ``{"replica": "r1"}``) to every series. Snapshots and reports are
+    identical with or without telemetry attached.
     """
 
     COUNTERS = ("arrived", "admitted", "rejected", "completed",
@@ -156,7 +220,8 @@ class ServerMetrics:
     TENANT_COUNTERS = ("arrived", "admitted", "rejected", "completed",
                        "deadline_miss", "dropped")
 
-    def __init__(self, deadline_ms: float):
+    def __init__(self, deadline_ms: float, telemetry=None,
+                 labels: dict | None = None):
         self.deadline_ms = deadline_ms
         self.counters = {name: Counter(name) for name in self.COUNTERS}
         self.latency = LatencyHistogram()
@@ -166,6 +231,8 @@ class ServerMetrics:
         self.per_rung: dict[str, int] = {}
         self.tenants: dict[str, dict] = {}
         self.events: list[DegradationEvent] = []
+        self.tele = None if telemetry is None \
+            else ServeTelemetry(telemetry, labels)
 
     def _tenant(self, tenant: str) -> dict:
         if tenant not in self.tenants:
@@ -178,45 +245,71 @@ class ServerMetrics:
         self.counters["arrived"].increment()
         if tenant is not None:
             self._tenant(tenant)["arrived"] += 1
+        if self.tele is not None:
+            self.tele.event("arrived")
+            if tenant is not None:
+                self.tele.tenant_event(tenant, "arrived")
 
     def record_rejection(self, tenant: str | None = None) -> None:
         self.counters["rejected"].increment()
         if tenant is not None:
             self._tenant(tenant)["rejected"] += 1
+        if self.tele is not None:
+            self.tele.event("rejected")
+            if tenant is not None:
+                self.tele.tenant_event(tenant, "rejected")
 
     def record_admission(self, tenant: str | None = None) -> None:
         self.counters["admitted"].increment()
         if tenant is not None:
             self._tenant(tenant)["admitted"] += 1
+        if self.tele is not None:
+            self.tele.event("admitted")
+            if tenant is not None:
+                self.tele.tenant_event(tenant, "admitted")
 
     def record_batch(self, size: int) -> None:
         self.counters["batches"].increment()
         self.batch_occupancy_sum += size
+        if self.tele is not None:
+            self.tele.observe_batch(size)
 
     def record_drop(self, tenant: str | None = None) -> None:
         """One admitted request dropped un-executed (drain or dead rungs)."""
         self.counters["dropped"].increment()
         if tenant is not None:
             self._tenant(tenant)["dropped"] += 1
+        if self.tele is not None:
+            self.tele.event("dropped")
+            if tenant is not None:
+                self.tele.tenant_event(tenant, "dropped")
 
     def record_timeout(self) -> None:
         """One batch execution cancelled at its timeout."""
         self.counters["timeouts"].increment()
+        if self.tele is not None:
+            self.tele.engine_event("timeout")
 
     def record_retry(self) -> None:
         """One batch re-executed on a faster rung after timeout/failure."""
         self.counters["retries"].increment()
+        if self.tele is not None:
+            self.tele.engine_event("retry")
 
-    def record_breaker(self, to_state: str) -> None:
+    def record_breaker(self, to_state: str, rung: str = "") -> None:
         """One circuit-breaker transition (opens and closes counted)."""
         if to_state == "open":
             self.counters["breaker_opens"].increment()
         elif to_state == "closed":
             self.counters["breaker_closes"].increment()
+        if self.tele is not None:
+            self.tele.breaker(rung, to_state)
 
     def record_fault_event(self) -> None:
         """One fault window opening or closing under the engine."""
         self.counters["fault_events"].increment()
+        if self.tele is not None:
+            self.tele.engine_event("fault")
 
     def record_response(self, response) -> None:
         """Record one COMPLETED response (rejections use record_rejection)."""
@@ -235,6 +328,17 @@ class ServerMetrics:
             bucket["latency_sum_ms"] += response.latency_ms
             if not response.deadline_met:
                 bucket["deadline_miss"] += 1
+        if self.tele is not None:
+            tele = self.tele
+            tele.event("completed")
+            if not response.deadline_met:
+                tele.event("deadline_miss")
+            tele.observe_response(response.rung, response.latency_ms,
+                                  max(response.queue_ms, 0.0))
+            if response.tenant is not None:
+                tele.tenant_event(response.tenant, "completed")
+                if not response.deadline_met:
+                    tele.tenant_event(response.tenant, "deadline_miss")
 
     def record_transition(self, time_ms: float, direction: str,
                           from_rung: str, to_rung: str) -> None:
@@ -242,6 +346,8 @@ class ServerMetrics:
         self.counters[key].increment()
         self.events.append(
             DegradationEvent(time_ms, direction, from_rung, to_rung))
+        if self.tele is not None:
+            self.tele.engine_event(direction)
 
     # -- read-out -----------------------------------------------------------
     @property
@@ -275,7 +381,9 @@ class ServerMetrics:
 
         The snapshot owns every container it returns (deep copy): callers
         may mutate it freely without corrupting the live metrics behind
-        the next :meth:`report`.
+        the next :meth:`report`. Telemetry mirrors are intentionally not
+        included — the attached :class:`repro.obs.Telemetry` has its own
+        ``snapshot()`` — so traced and untraced snapshots compare equal.
         """
         return copy.deepcopy({
             "deadline_ms": self.deadline_ms,

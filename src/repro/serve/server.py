@@ -65,6 +65,11 @@ class Server:
     :meth:`run_trace` calls — clear them between runs if per-run traces
     are wanted.
 
+    ``telemetry`` (a :class:`repro.obs.Telemetry`) mirrors every metrics
+    recording into labeled time-series families sampled on the virtual
+    clock (see :mod:`repro.obs.telemetry`); like the tracer it is shared
+    across runs — each run's series continue in the same store.
+
     ``faults`` (a :class:`repro.faults.FaultInjector`) subjects every run
     to its chaos scenario: the ladder is served through fault-perturbed
     rung proxies and the injector's virtual clock is driven by the engine.
@@ -76,12 +81,13 @@ class Server:
 
     def __init__(self, ladder: TRNLadder,
                  config: ServerConfig | None = None,
-                 tracer=None, drift=None, faults=None):
+                 tracer=None, drift=None, faults=None, telemetry=None):
         self.ladder = ladder
         self.config = config or ServerConfig()
         self.tracer = tracer
         self.drift = drift
         self.faults = faults
+        self.telemetry = telemetry
 
     def run_trace(self, trace: list[Request], stop_ms: float | None = None,
                   **overrides) -> ServingResult:
@@ -97,7 +103,8 @@ class Server:
         self.ladder.reset(0)
         ladder = self.ladder if self.faults is None \
             else self.faults.wrap(self.ladder)
-        metrics = ServerMetrics(config.deadline_ms)
+        metrics = ServerMetrics(config.deadline_ms,
+                                telemetry=self.telemetry)
         engine = Engine(ladder, config, metrics,
                         tracer=self.tracer, drift=self.drift,
                         faults=self.faults)
