@@ -1,0 +1,93 @@
+"""Online NetCut: closing Algorithm 1's loop at serving time.
+
+NetCut picks the deepest TRN whose *estimated* latency meets the deadline
+— at deploy time, from profiler tables measured on a cool, idle device.
+This demo breaks that assumption mid-trace: a seeded thermal throttle
+ramps the simulated Xavier to 2.5x its profiled latency and never
+recovers, so the rung Algorithm 1 chose offline starts blowing the
+deadline on every request.
+
+The same Poisson trace replays through two servers:
+
+1. *static estimates* — the deployment artifact's latency tables stay
+   frozen. Admission and batching keep trusting cool-device numbers, the
+   serving rung keeps missing, and the miss rate lands near 90%.
+2. *online re-estimation* — a DriftMonitor (repro.obs) watches predicted
+   vs. observed service times; when it raises a drift event, the
+   ReestimationController (repro.netcut.online) re-fits every rung's
+   latency belief from the live observations, re-sorts the ladder and
+   re-runs Algorithm 1's greedy selection over the calibrated estimates.
+   Two re-fits in, the server has converged on the throttled device's
+   true speed and serves from the deepest rung that *actually* fits.
+
+Both arms run with the hysteresis ladder controller off (adaptive=False),
+so the whole recovery is attributable to the estimate-maintenance loop —
+not to latency-window degradation.
+
+Everything is virtual-time and seeded: every run of this script prints
+identical numbers, whatever PYTHONHASHSEED the interpreter drew.
+
+Run:  python examples/online_netcut.py
+"""
+
+from repro.device import xavier
+from repro.faults import FaultInjector, ThermalThrottle
+from repro.obs import DriftMonitor
+from repro.serve import Server, ServerConfig, TRNLadder
+from repro.workload import poisson_trace
+from repro.zoo import build_network
+
+REQUESTS = 400
+THROTTLE = 2.5
+SEED = 0
+
+
+def replay(ladder, trace, deadline_ms, span_ms, online):
+    faults = FaultInjector([ThermalThrottle(
+        start_ms=0.1 * span_ms, duration_ms=10 * span_ms,
+        factor=THROTTLE, ramp_ms=0.03 * span_ms)], seed=SEED)
+    drift = DriftMonitor(threshold=0.2, window=16, min_observations=8,
+                         cooldown=8)
+    config = ServerConfig(
+        deadline_ms=deadline_ms, execute=False, seed=SEED,
+        adaptive=False, online_reestimation=online,
+        reestimate_cooldown_ms=10.0, reestimate_min_samples=8,
+        reestimate_max_samples=16)
+    server = Server(ladder, config, drift=drift, faults=faults)
+    return server.run_trace(trace), server
+
+
+def main() -> None:
+    device = xavier()
+    base = build_network("mobilenet_v1_0.5").build(0)
+    ladder = TRNLadder.from_base(base, device, num_classes=5, max_rungs=6)
+    full = ladder.rungs[0].estimate_ms(1)
+    deadline = round(1.3 * full, 3)
+    rate = 0.4e3 / full
+    trace = poisson_trace(REQUESTS, rate, deadline, rng=SEED)
+    span = trace[-1].arrival_ms
+
+    print(f"device: {device.name}   deadline: {deadline} ms   "
+          f"{REQUESTS} requests @ {rate:,.0f} req/s")
+    print(f"thermal throttle to {THROTTLE}x from t={0.1 * span:,.0f} ms "
+          f"(never recovers)\n")
+    print("ladder (deployment artifact's estimates):")
+    for rung in ladder.rungs:
+        print(f"  {rung.name:28s} est {rung.estimate_ms(1):.3f} ms")
+
+    for label, online in (("static estimates", False),
+                          ("online re-estimation", True)):
+        result, server = replay(ladder, trace, deadline, span, online)
+        print(f"\n=== {label} ===")
+        print(result.metrics.report())
+        if online:
+            print(server.engine.reestimator.report())
+            print("calibrated ladder after the run:")
+            for rung in server.engine.ladder.rungs:
+                print(f"  {rung.name:28s} est "
+                      f"{rung.estimate_ms(1):.3f} ms "
+                      f"(scale {rung.estimate_scale:.2f}x)")
+
+
+if __name__ == "__main__":
+    main()

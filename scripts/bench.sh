@@ -26,6 +26,7 @@ PYTHONHASHSEED=random PYTHONPATH=src python -m pytest \
     benchmarks/test_cluster_scaleout.py \
     benchmarks/test_obs_overhead.py \
     benchmarks/test_faults_chaos.py \
+    benchmarks/test_netcut_online.py \
     benchmarks/test_workload_slo.py \
     -q --benchmark-disable "$@"
 

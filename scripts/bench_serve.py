@@ -29,8 +29,9 @@ sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
 
 from repro.cluster import Router, homogeneous_replicas, make_policy  # noqa: E402
 from repro.device import xavier  # noqa: E402
-from repro.obs import RunStore, Telemetry  # noqa: E402
-from repro.serve import ServerConfig  # noqa: E402
+from repro.faults import FaultInjector, ThermalThrottle  # noqa: E402
+from repro.obs import DriftMonitor, RunStore, Telemetry  # noqa: E402
+from repro.serve import Server, ServerConfig, TRNLadder  # noqa: E402
 from repro.workload import poisson_trace  # noqa: E402
 from repro.zoo import build_network  # noqa: E402
 
@@ -38,6 +39,9 @@ REQUESTS = 2000
 DEADLINE_MS = 3.0
 RATE_RPS = 44e3
 SEED = 0
+
+ONLINE_REQUESTS = 1000
+ONLINE_THROTTLE = 2.5
 
 
 def measure(result, trace):
@@ -53,6 +57,56 @@ def measure(result, trace):
         "completed": counters["completed"].value,
         "dropped": counters["dropped"].value,
         "rejected": counters["rejected"].value,
+    }
+
+
+def run_online_netcut(base):
+    """Closed-loop vs. static estimates under an unending thermal throttle.
+
+    The acceptance scenario of benchmarks/test_netcut_online.py: the
+    deployment artifact's latency tables go stale 10% into the trace and
+    the drift -> re-fit -> ladder-rebuild loop must win back the deadline.
+    """
+    ladder = TRNLadder.from_base(base, xavier(), num_classes=5, max_rungs=6)
+    full = ladder.rungs[0].estimate_ms(1)
+    deadline_ms = round(1.3 * full, 3)
+    trace = poisson_trace(ONLINE_REQUESTS, 0.4e3 / full, deadline_ms,
+                          rng=SEED)
+    span = trace[-1].arrival_ms
+
+    def replay(online, method):
+        faults = FaultInjector([ThermalThrottle(
+            start_ms=0.1 * span, duration_ms=10 * span,
+            factor=ONLINE_THROTTLE, ramp_ms=0.03 * span)], seed=SEED)
+        drift = DriftMonitor(threshold=0.2, window=16, min_observations=8,
+                             cooldown=8)
+        config = ServerConfig(
+            deadline_ms=deadline_ms, execute=False, seed=SEED,
+            adaptive=False, online_reestimation=online,
+            reestimate_method=method, reestimate_cooldown_ms=10.0,
+            reestimate_min_samples=8, reestimate_max_samples=16)
+        result = Server(ladder, config, drift=drift,
+                        faults=faults).run_trace(trace)
+        counters = result.metrics.counters
+        return {
+            "miss_rate": round(result.metrics.miss_rate, 6),
+            "completed": counters["completed"].value,
+            "rejected": counters["rejected"].value,
+            "reestimates": counters["reestimates"].value,
+            "ladder_rebuilds": counters["ladder_rebuilds"].value,
+            "final_rung": result.final_rung,
+        }
+
+    return {
+        "scenario": {
+            "requests": ONLINE_REQUESTS,
+            "deadline_ms": deadline_ms,
+            "throttle_factor": ONLINE_THROTTLE,
+            "seed": SEED,
+        },
+        "static": replay(False, "ratio"),
+        "online_ratio": replay(True, "ratio"),
+        "online_svr": replay(True, "svr"),
     }
 
 
@@ -99,6 +153,7 @@ def main(argv=None) -> None:
         "scaleout_admitted_ratio": round(
             runs["cluster_3x_p2c"]["admitted_rps"]
             / runs["serve_1x"]["admitted_rps"], 4),
+        "online_netcut": run_online_netcut(base),
     }
 
     out = os.path.join(os.path.dirname(os.path.dirname(

@@ -6,6 +6,7 @@ Usage (after installation, or via ``python -m repro.cli``):
     python -m repro.cli measure [--net NAME]     # Fig. 1 latencies
     python -m repro.cli explore                  # 148-TRN sweep (cached)
     python -m repro.cli netcut --deadline 0.9 --estimator profiler
+    python -m repro.cli netcut online            # drift -> refit -> rebuild
     python -m repro.cli estimators               # Fig. 9 error table
     python -m repro.cli pareto                   # frontier + text scatter
     python -m repro.cli serve --deadline-ms 0.9 --trace poisson
@@ -97,6 +98,8 @@ def cmd_explore(args) -> int:
 
 def cmd_netcut(args) -> int:
     """Run Algorithm 1 and print the proposed candidates."""
+    if getattr(args, "netcut_cmd", None) == "online":
+        return cmd_netcut_online(args)
     wb = _workbench(args)
     result = wb.netcut(args.estimator, deadline_ms=args.deadline)
     print(f"NetCut ({args.estimator}) @ deadline {args.deadline} ms")
@@ -109,6 +112,73 @@ def cmd_netcut(args) -> int:
     best = result.best
     print(f"winner: {best.trn_name} (accuracy {best.accuracy:.4f}, "
           f"measured {best.measured_latency_ms:.3f} ms)")
+    return 0
+
+
+def cmd_netcut_online(args) -> int:
+    """Closed-loop NetCut: drift-triggered re-estimation under throttle.
+
+    Serves a Poisson trace through a TRN ladder while a seeded thermal
+    throttle slows the device mid-trace. The same trace replays twice:
+    once with the deployment artifact's latency tables frozen (Algorithm 1
+    believed at deploy time) and once with ``online_reestimation`` on, so
+    the drift -> re-fit -> ladder-rebuild loop's effect on the deadline-
+    miss rate reads side by side.
+    """
+    from repro.device import xavier
+    from repro.faults import FaultInjector, ThermalThrottle
+    from repro.obs import DriftMonitor
+    from repro.serve import Server, ServerConfig, TRNLadder
+    from repro.workload import poisson_trace
+    from repro.zoo import build_network
+
+    device = xavier()
+    base = build_network(_resolve_net(args.net)).build(0)
+    ladder = TRNLadder.from_base(base, device, num_classes=5,
+                                 max_rungs=args.max_rungs)
+    full = ladder.rungs[0].estimate_ms(1)
+    deadline = args.deadline_ms if args.deadline_ms else round(1.3 * full, 3)
+    rate = args.rate if args.rate else 0.4e3 / full
+    trace = poisson_trace(args.requests, rate, deadline, rng=args.seed)
+    span = trace[-1].arrival_ms
+    print(f"device: {device.name}   ladder: {len(ladder)} rungs of "
+          f"{base.name}   deadline: {deadline} ms")
+    print(f"{args.requests} Poisson requests @ {rate:,.0f} req/s; thermal "
+          f"throttle to {args.factor}x from t={0.1 * span:,.0f} ms "
+          f"(never recovers)")
+    print("\nladder (deployment artifact's estimates):")
+    for rung in ladder.rungs:
+        print(f"  {rung.name:28s} est {rung.estimate_ms(1):.3f} ms")
+
+    def replay(online: bool):
+        faults = FaultInjector([ThermalThrottle(
+            start_ms=0.1 * span, duration_ms=10 * span,
+            factor=args.factor, ramp_ms=0.03 * span)], seed=args.seed)
+        drift = DriftMonitor(threshold=0.2, window=16, min_observations=8,
+                             cooldown=8)
+        config = ServerConfig(
+            deadline_ms=deadline, execute=False, seed=args.seed,
+            adaptive=False, online_reestimation=online,
+            reestimate_method=args.method, reestimate_cooldown_ms=10.0,
+            reestimate_min_samples=8, reestimate_max_samples=16)
+        server = Server(ladder, config, drift=drift, faults=faults)
+        return server.run_trace(trace), server, drift
+
+    for label, online in (("static estimates", False),
+                          ("online re-estimation", True)):
+        result, server, drift = replay(online)
+        print(f"\n--- {label} ---")
+        print(result.metrics.report())
+        if online:
+            print(server.engine.reestimator.report())
+            print("calibrated ladder after the run:")
+            # read the engine's ladder: under fault injection it is the
+            # wrapped copy whose re-sorted order the original never sees
+            for rung in server.engine.ladder.rungs:
+                print(f"  {rung.name:28s} est {rung.estimate_ms(1):.3f} ms "
+                      f"(scale {rung.estimate_scale:.2f}x)")
+        if args.verbose:
+            print(drift.report())
     return 0
 
 
@@ -749,6 +819,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--deadline", type=float, default=0.9)
     p.add_argument("--estimator", default="profiler",
                    choices=["profiler", "analytical", "linear"])
+    # nested verb: `netcut` alone keeps running Algorithm 1 (required
+    # stays False), `netcut online` closes the serving-time loop
+    nsub = p.add_subparsers(dest="netcut_cmd", required=False)
+    po = nsub.add_parser(
+        "online",
+        help="drift-triggered re-estimation + live ladder rebuild")
+    po.add_argument("--net", default="mobilenet_v1_0.5",
+                    help="zoo network (exact name, prefix or substring)")
+    po.add_argument("--deadline-ms", type=float, default=None,
+                    dest="deadline_ms",
+                    help="serving deadline (default: 1.3x the full TRN)")
+    po.add_argument("--requests", type=int, default=1000)
+    po.add_argument("--rate", type=float, default=None,
+                    help="offered load in requests/s (default: 0.4x the "
+                         "full TRN's single-request capacity)")
+    po.add_argument("--max-rungs", type=int, default=6, dest="max_rungs")
+    po.add_argument("--factor", type=float, default=2.5,
+                    help="thermal-throttle slowdown factor")
+    po.add_argument("--method", default="ratio", choices=["ratio", "svr"],
+                    help="re-estimation fit (per-rung median or pooled SVR)")
+    po.add_argument("--seed", type=int, default=0)
+    po.add_argument("--verbose", action="store_true",
+                    help="also print the drift monitor's event report")
 
     sub.add_parser("estimators", help="estimator error table (Fig. 9)")
 

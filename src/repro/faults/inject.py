@@ -142,8 +142,8 @@ class FaultedRung:
 
     Satisfies the rung protocol the serving stack uses (``name``,
     ``accuracy``, ``sampler``, ``estimate_ms``, ``sample_service_ms``,
-    ``forward``, ``reseed``) and perturbs each call with the injector's
-    currently active faults.
+    ``forward``, ``reseed``, ``recalibrate``) and perturbs each call with
+    the injector's currently active faults.
     """
 
     def __init__(self, rung, injector: FaultInjector):
@@ -171,8 +171,20 @@ class FaultedRung:
     def sampler(self):
         return self._rung.sampler
 
+    @property
+    def estimate_scale(self) -> float:
+        return self._rung.estimate_scale
+
     def reseed(self, rng) -> None:
         self._rung.reseed(rng)
+
+    def recalibrate(self, scale: float) -> float:
+        """Rewrite the wrapped rung's latency belief (shared with the
+        unwrapped ladder — there is one belief per rung, not per proxy)."""
+        return self._rung.recalibrate(scale)
+
+    def estimate_table(self) -> dict:
+        return self._rung.estimate_table()
 
     # -- perturbed timing ----------------------------------------------------
     def estimate_ms(self, batch_size: int = 1) -> float:

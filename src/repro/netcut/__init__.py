@@ -6,6 +6,7 @@ from .deploy import DeploymentArtifact, deploy, load_artifact, save_artifact
 from .algorithm import NetCutCandidate, NetCutResult, run_netcut
 from .margin import MarginAdapter, violation_rate
 from .explorer import Exploration, TRNRecord, explore_blockwise, explore_cutpoints
+from .online import OnlineFit, ReestimationController, fit_scales, select_rung
 
 __all__ = [
     "run_netcut",
@@ -27,4 +28,8 @@ __all__ = [
     "ExplorationCost",
     "CostComparison",
     "compare_costs",
+    "OnlineFit",
+    "ReestimationController",
+    "fit_scales",
+    "select_rung",
 ]

@@ -23,6 +23,14 @@ batch succeeds; and when every usable rung is broken the engine falls
 back to the fastest rung outright, shedding accuracy instead of missing
 deadlines or crashing. A batch is dropped (counted, never lost) only
 when even the fastest rung hard-fails.
+
+With ``ServerConfig(online_reestimation=True)`` the engine additionally
+keeps the latency model itself honest: drift events from the
+:class:`repro.obs.DriftMonitor` feed a
+:class:`repro.netcut.online.ReestimationController` that re-fits every
+rung's latency table from live observed service times and re-runs
+NetCut's greedy rung selection over the updated estimates — Algorithm 1
+running continuously inside the serving loop.
 """
 
 from __future__ import annotations
@@ -66,6 +74,14 @@ class ServerConfig:
     execute: bool = True              # run real forwards (False = timing only)
     kernel_timing: bool = False       # time compiled kernels per batch
     seed: int = 0
+    # -- online NetCut (see repro.netcut.online) ----------------------------
+    online_reestimation: bool = False  # drift -> re-fit -> ladder rebuild
+    reestimate_cooldown_ms: float = 25.0  # min virtual time between fits
+    reestimate_min_samples: int = 8   # fresh batches required per fit
+    reestimate_method: str = "ratio"  # "ratio" or "svr"
+    reestimate_margin: float = 1.0    # greedy budget = margin x deadline
+    reestimate_min_change: float = 0.05  # discard fits below this change
+    reestimate_max_samples: int = 64  # per-rung fit buffer (forgetting)
     # -- resilience (see repro.faults) --------------------------------------
     resilience: bool = False          # timeouts/retries/breakers on or off
     exec_timeout_factor: float = 2.5  # batch timeout = factor x predicted
@@ -140,6 +156,34 @@ class Engine:
             # runs (and across a cluster's replicas), but each engine's
             # admissions must start from a clean slate
             self.admission_policy.reset()
+        # online re-estimation rewrites rung latency beliefs in place and
+        # ladders are reused across runs, so every fresh engine restores
+        # the deployment artifact's tables (and their ordering) first —
+        # one (ladder, config, trace) tuple always replays identically,
+        # whether or not a previous run recalibrated
+        recalibrated = False
+        for rung in ladder.rungs:
+            if getattr(rung, "estimate_scale", 1.0) != 1.0:
+                rung.recalibrate(1.0)
+                recalibrated = True
+        if recalibrated and hasattr(ladder, "resort"):
+            ladder.resort()
+        self.reestimator = None
+        if config.online_reestimation:
+            # lazy import: the engine must not pull the netcut package
+            # (training/deploy stack) unless the loop is actually closed
+            from repro.netcut.online import ReestimationController
+            if self.drift is None:
+                from repro.obs.drift import DriftMonitor
+                self.drift = DriftMonitor()
+            self.reestimator = ReestimationController(
+                config.deadline_ms,
+                cooldown_ms=config.reestimate_cooldown_ms,
+                min_samples=config.reestimate_min_samples,
+                method=config.reestimate_method,
+                margin=config.reestimate_margin,
+                min_rel_change=config.reestimate_min_change,
+                max_samples_per_rung=config.reestimate_max_samples)
         ladder.reseed(config.seed)
         if config.warm_start:
             for rung in ladder.rungs:
@@ -230,6 +274,9 @@ class Engine:
                 share, fair = tele.share_gauges(tenant)
                 share.set(policy.share_of(tenant))
                 fair.set(policy.fair_share_of(tenant))
+        if self.reestimator is not None:
+            for rung in self.ladder.rungs:
+                tele.scale_gauge(rung.name).set(rung.estimate_scale)
 
     def _record_kernel_times(self, rung) -> None:
         """Drain one executed batch's per-kernel wall-clock times.
@@ -518,8 +565,14 @@ class Engine:
         # duplicates of the same evidence. The executed rung's own
         # estimate is compared (not the originally selected rung's),
         # so retries don't masquerade as estimator drift.
-        self._observe_drift(rung.estimate_ms(len(batch)),
-                            service_ms, finish, rung.name)
+        predicted_ms = rung.estimate_ms(len(batch))
+        event = self._observe_drift(predicted_ms, service_ms, finish,
+                                    rung.name)
+        if self.reestimator is not None:
+            self.reestimator.record(rung.name, len(batch), predicted_ms,
+                                    service_ms)
+            if event is not None:
+                self._apply_reestimation(event, finish)
         for i, req in enumerate(batch):
             # start_ms stays the batch-formation time: service_ms and
             # latency_ms then include cancelled-attempt overhead, so
@@ -596,19 +649,49 @@ class Engine:
         return [responses[r.rid] for r in trace if r.rid in responses]
 
     def _observe_drift(self, predicted_ms: float, observed_ms: float,
-                       time_ms: float, rung: str) -> None:
+                       time_ms: float, rung: str):
         """Feed one batch's predicted vs. observed service time.
 
         The prediction is the same noise-free estimate admission and batch
         planning trusted (the deployment artifact's latency model at the
         executed batch size) — exactly the quantity whose drift invalidates
-        those decisions.
+        those decisions. Returns the :class:`~repro.obs.drift.DriftEvent`
+        when one fired (the online-NetCut loop consumes it), else None.
         """
         if self.drift is None:
-            return
+            return None
         event = self.drift.observe(predicted_ms, observed_ms,
                                    time_ms=time_ms, rung=rung)
         if event is not None and self.tracer is not None:
             self.tracer.instant("drift", "drift", time_ms,
                                 rel_error=event.rel_error,
                                 bias=event.bias, rung=rung)
+        return event
+
+    def _apply_reestimation(self, event, now_ms: float) -> None:
+        """Close the loop: one drift event may rewrite the latency tables.
+
+        The controller applies its own hysteresis (virtual-time cooldown,
+        fresh-sample and minimum-change gates) so a single event cannot
+        thrash the ladder. When a fit goes through, the engine counts it,
+        clears the drift window (its errors were measured against tables
+        that no longer exist), and — if the greedy re-selection moved the
+        serving rung — resets the hysteresis controller's evidence exactly
+        as a degrade/upgrade transition would.
+        """
+        fit = self.reestimator.maybe_reestimate(self.ladder, event, now_ms)
+        if fit is None:
+            return
+        self.metrics.record_reestimate()
+        self.drift.reset_window()
+        if self.tracer is not None:
+            self.tracer.instant("reestimate", "netcut", now_ms,
+                                method=fit.method, samples=fit.samples,
+                                max_scale=max(fit.scales.values()))
+        if fit.rebuilt:
+            self.metrics.record_rebuild(now_ms, fit.from_rung, fit.to_rung)
+            if self.controller is not None:
+                self.controller.notify_transition()
+            if self.tracer is not None:
+                self.tracer.instant("rebuild", "netcut", now_ms,
+                                    frm=fit.from_rung, to=fit.to_rung)

@@ -41,6 +41,13 @@ class TRNRung:
     spec: DeviceSpec
     accuracy: float = float("nan")
     sampler: ServiceTimeSampler = field(init=False, repr=False)
+    # planner belief vs. device truth: estimate_scale multiplies what the
+    # *planner* (admission, batching, ladder ordering) believes this rung
+    # costs, while the sampler keeps producing the device's actual
+    # behaviour. Online re-estimation (repro.netcut.online) rewrites the
+    # belief from live observations; it must never touch the sampler,
+    # which would amount to re-profiling the hardware into agreement.
+    estimate_scale: float = field(default=1.0, init=False)
 
     def __post_init__(self):
         if not self.network.built:
@@ -60,7 +67,26 @@ class TRNRung:
 
     def estimate_ms(self, batch_size: int = 1) -> float:
         """Noise-free batched latency estimate (admission/batch planning)."""
-        return self.sampler.base_ms(batch_size)
+        return self.sampler.base_ms(batch_size) * self.estimate_scale
+
+    def recalibrate(self, scale: float) -> float:
+        """Rewrite the rung's latency belief; returns the previous scale.
+
+        ``scale`` replaces (does not compose with) the current calibration:
+        it is the ratio of believed to profiled latency, so ``1.0`` always
+        means "trust the deployment artifact's table again".
+        """
+        scale = float(scale)
+        if not math.isfinite(scale) or scale <= 0:
+            raise ValueError("estimate scale must be positive and finite")
+        previous = self.estimate_scale
+        self.estimate_scale = scale
+        return previous
+
+    def estimate_table(self) -> dict[int, float]:
+        """The calibrated latency table at every batch size seen so far."""
+        return {b: ms * self.estimate_scale
+                for b, ms in sorted(self.sampler._base_ms.items())}
 
     def sample_service_ms(self, batch_size: int = 1) -> float:
         """One measured (noisy) batched inference latency."""
@@ -175,6 +201,28 @@ class TRNLadder:
             raise IndexError(f"no rung {index} in a {len(self.rungs)}-rung "
                              "ladder")
         self._current = index
+
+    def select(self, rung: TRNRung) -> None:
+        """Point the cursor at ``rung`` (matched by identity, not equality)."""
+        for i, r in enumerate(self.rungs):
+            if r is rung:
+                self._current = i
+                return
+        raise ValueError(f"rung {getattr(rung, 'name', rung)!r} is not in "
+                         "this ladder")
+
+    def resort(self) -> None:
+        """Re-sort the rungs by their *current* batch-1 estimates.
+
+        The construction-time ordering goes stale the moment estimates
+        change (online recalibration rewrites them mid-run). The cursor
+        keeps pointing at the rung that was serving traffic — tracked by
+        identity, so re-ordering never silently swaps which network
+        answers the next batch.
+        """
+        serving = self.rungs[self._current]
+        self.rungs.sort(key=lambda r: -r.estimate_ms(1))
+        self.select(serving)
 
     def reseed(self, seed: int) -> None:
         """Give every rung a fresh deterministic sampler."""

@@ -100,6 +100,18 @@ class ServeTelemetry:
             "kernel_latency_ms",
             "per-fused-kernel wall-clock latency of compiled forwards",
             ("kernel", "rung") + names)
+        self.reestimate_total = telemetry.counter(
+            "netcut_reestimate_total",
+            "drift-triggered online latency re-estimations",
+            names).child(self._extra)
+        self.rebuild_total = telemetry.counter(
+            "ladder_rebuild_total",
+            "ladder re-syntheses (serving rung re-selected) after online "
+            "re-estimation", names).child(self._extra)
+        self._scale_family = telemetry.gauge(
+            "netcut_estimate_scale",
+            "online latency calibration scale per rung "
+            "(1.0 = deployment artifact's table)", ("rung",) + names)
 
         gauge = telemetry.gauge
         self.queue_depth = gauge(
@@ -122,6 +134,7 @@ class ServeTelemetry:
             ("tenant",) + names)
 
         self._tenant_children: dict[tuple[str, str], Counter] = {}
+        self._scale_children: dict = {}
         self._stop_children: dict[str, Counter] = {}
         self._latency_children: dict[str, LatencyHistogram] = {}
         self._kernel_children: dict[tuple[str, str], LatencyHistogram] = {}
@@ -175,6 +188,14 @@ class ServeTelemetry:
         self._breaker_family.child(
             (rung, to_state) + self._extra).increment()
 
+    def scale_gauge(self, rung: str):
+        """The calibration-scale gauge for one rung."""
+        gauge = self._scale_children.get(rung)
+        if gauge is None:
+            gauge = self._scale_children[rung] = \
+                self._scale_family.child((rung,) + self._extra)
+        return gauge
+
     def share_gauges(self, tenant: str):
         """The (admitted-share, fair-share) gauges for one tenant."""
         return (self._share_family.child((tenant,) + self._extra),
@@ -215,7 +236,8 @@ class ServerMetrics:
     COUNTERS = ("arrived", "admitted", "rejected", "completed",
                 "deadline_miss", "batches", "degrade_events",
                 "upgrade_events", "dropped", "timeouts", "retries",
-                "breaker_opens", "breaker_closes", "fault_events")
+                "breaker_opens", "breaker_closes", "fault_events",
+                "reestimates", "ladder_rebuilds")
 
     TENANT_COUNTERS = ("arrived", "admitted", "rejected", "completed",
                        "deadline_miss", "dropped")
@@ -349,6 +371,21 @@ class ServerMetrics:
         if self.tele is not None:
             self.tele.engine_event(direction)
 
+    def record_reestimate(self) -> None:
+        """One applied online re-estimation (latency tables rewritten)."""
+        self.counters["reestimates"].increment()
+        if self.tele is not None:
+            self.tele.reestimate_total.increment()
+
+    def record_rebuild(self, time_ms: float, from_rung: str,
+                       to_rung: str) -> None:
+        """One ladder rebuild: re-estimation moved the serving rung."""
+        self.counters["ladder_rebuilds"].increment()
+        self.events.append(
+            DegradationEvent(time_ms, "rebuild", from_rung, to_rung))
+        if self.tele is not None:
+            self.tele.rebuild_total.increment()
+
     # -- read-out -----------------------------------------------------------
     @property
     def miss_rate(self) -> float:
@@ -428,6 +465,10 @@ class ServerMetrics:
                 f"timeouts, {c['retries']} retries, breaker "
                 f"{c['breaker_opens']} opens / {c['breaker_closes']} "
                 f"closes, {c['fault_events']} fault events")
+        if c["reestimates"]:
+            lines.append(
+                f"online netcut: {c['reestimates']} re-estimations, "
+                f"{c['ladder_rebuilds']} ladder rebuilds")
         if snap["per_rung"]:
             served = ", ".join(f"{name}: {n}"
                                for name, n in snap["per_rung"].items())

@@ -88,6 +88,7 @@ class Server:
         self.drift = drift
         self.faults = faults
         self.telemetry = telemetry
+        self.engine = None    # the engine of the most recent run_trace
 
     def run_trace(self, trace: list[Request], stop_ms: float | None = None,
                   **overrides) -> ServingResult:
@@ -108,6 +109,9 @@ class Server:
         engine = Engine(ladder, config, metrics,
                         tracer=self.tracer, drift=self.drift,
                         faults=self.faults)
+        # kept for post-run inspection (e.g. the online-NetCut
+        # re-estimation controller's fit history on engine.reestimator)
+        self.engine = engine
         responses = engine.run(trace, stop_ms=stop_ms)
         # read the cursor off the engine's ladder: under fault injection it
         # is a wrapped copy whose cursor the original never sees

@@ -44,6 +44,15 @@ class TestCLIIntegration:
         assert "winner:" in out
         assert "blocks_removed" in out
 
+    def test_netcut_online(self, cache, capsys):
+        # the nested verb must not disturb the flat `netcut` form above
+        run(cache, "netcut", "online", "--requests", "200")
+        out = capsys.readouterr().out
+        assert "static estimates" in out
+        assert "online re-estimation" in out
+        assert "re-estimations" in out
+        assert "calibrated ladder" in out
+
     def test_estimators(self, cache, capsys):
         run(cache, "estimators")
         out = capsys.readouterr().out

@@ -71,6 +71,25 @@ class TestExperimentsDoc:
             assert quantity in doc, quantity
 
 
+class TestExamplesSmoke:
+    def test_every_example_is_smoked(self):
+        """scripts/examples_smoke.sh lists every examples/*.py — a demo
+        that isn't smoked in CI is a demo that silently rots."""
+        script = read(os.path.join("scripts", "examples_smoke.sh"))
+        for name in sorted(os.listdir(os.path.join(REPO, "examples"))):
+            if name.endswith(".py"):
+                assert f"examples/{name}" in script, name
+
+    def test_smoked_examples_exist(self):
+        script = read(os.path.join("scripts", "examples_smoke.sh"))
+        for match in set(re.findall(r"examples/[a-z_]+\.py", script)):
+            assert os.path.exists(os.path.join(REPO, match)), match
+
+    def test_ci_runs_the_smoke(self):
+        ci = read(os.path.join(".github", "workflows", "ci.yml"))
+        assert "scripts/examples_smoke.sh" in ci
+
+
 class TestApiDoc:
     def test_documented_imports_work(self):
         """Every `from repro.x import y` line in docs/API.md executes."""

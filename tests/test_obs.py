@@ -8,6 +8,7 @@ histogram/snapshot regressions in repro.serve.metrics.
 """
 
 import json
+import math
 import os
 import subprocess
 import sys
@@ -344,7 +345,7 @@ class TestTracedServing:
         _, _, drift = self._run(ladder)
         assert drift.observations > 0
         assert not drift.drifting
-        assert drift.events == []
+        assert len(drift.events) == 0
 
 
 # ---------------------------------------------------------------------------
@@ -392,7 +393,89 @@ class TestDriftMonitor:
         with pytest.raises(ValueError):
             DriftMonitor(window=0)
         with pytest.raises(ValueError):
-            DriftMonitor().observe(0.0, 1.0)
+            DriftMonitor(events_capacity=0)
+
+    def test_degenerate_observations_skip_and_count(self):
+        """A zero/NaN estimate must not crash the serving hot path."""
+        mon = DriftMonitor(threshold=0.1, window=8, min_observations=2)
+        for bad in [(0.0, 1.0), (-1.0, 1.0), (float("nan"), 1.0),
+                    (float("inf"), 1.0), (1.0, float("nan")),
+                    (1.0, float("inf"))]:
+            assert mon.observe(*bad) is None
+        assert mon.observations == 0           # nothing entered the window
+        assert mon.skipped == 6
+        assert mon.snapshot()["skipped"] == 6
+        # good observations still work after the degenerate ones
+        for i in range(4):
+            mon.observe(1.0, 2.0, time_ms=float(i))
+        assert mon.drifting
+        assert mon.observations == 4
+
+    def test_events_are_bounded(self):
+        """A sustained miscalibration cannot grow events without bound."""
+        mon = DriftMonitor(threshold=0.1, window=4, min_observations=2,
+                           cooldown=2, events_capacity=5)
+        for i in range(100):
+            mon.observe(1.0, 2.0, time_ms=float(i))
+        assert len(mon.events) == 5            # capped by events_capacity
+        assert mon.events_total == 50          # first at obs 2, then every 2
+        assert mon.snapshot()["events_total"] == 50
+        assert len(mon.snapshot()["events"]) == 5
+        # the retained events are the most recent ones
+        assert mon.events[-1].time_ms == 99.0
+
+    def test_cooldown_at_window_boundary(self):
+        """cooldown == window: each event rides a fully fresh window."""
+        mon = DriftMonitor(threshold=0.1, window=8, min_observations=8,
+                           cooldown=8)
+        events = [i for i in range(64)
+                  if mon.observe(1.0, 2.0, time_ms=float(i)) is not None]
+        # first event exactly when the window fills, then every window
+        assert events == [7, 15, 23, 31, 39, 47, 55, 63]
+        assert all(e.window == 8 for e in mon.events)
+
+    def test_nan_readout_before_min_observations(self):
+        """Empty-window read-outs are NaN, not zero (zero would read as
+        'perfectly calibrated' to a dashboard)."""
+        mon = DriftMonitor(threshold=0.1, window=8, min_observations=4)
+        assert math.isnan(mon.rolling_error)
+        assert math.isnan(mon.bias)
+        assert not mon.drifting                 # NaN never alarms
+        snap = mon.snapshot()
+        assert math.isnan(snap["rolling_error"]) and math.isnan(snap["bias"])
+        # one observation in: read-outs become finite, still below min_obs
+        mon.observe(1.0, 2.0)
+        assert mon.rolling_error == 1.0
+        assert not mon.drifting                 # gated by min_observations
+
+    def test_virtual_clock_rewind(self):
+        """The monitor is observation-counted, not clock-driven: a rewound
+        time_ms (fresh engine, new trace at t=0) must not wedge it."""
+        mon = DriftMonitor(threshold=0.1, window=4, min_observations=2,
+                           cooldown=4)
+        for i in range(8):
+            mon.observe(1.0, 2.0, time_ms=float(100 + i))
+        before = mon.events_total
+        assert before > 0
+        # clock rewinds to zero: events keep firing on observation counts
+        # and record the caller's (rewound) times verbatim
+        for i in range(8):
+            mon.observe(1.0, 2.0, time_ms=float(i))
+        assert mon.events_total > before
+        assert mon.events[-1].time_ms < 100.0
+
+    def test_reset_window_clears_evidence_not_history(self):
+        mon = DriftMonitor(threshold=0.1, window=4, min_observations=2)
+        for i in range(4):
+            mon.observe(1.0, 2.0, time_ms=float(i))
+        assert mon.events_total == 1 and mon.drifting
+        mon.reset_window()
+        assert math.isnan(mon.rolling_error) and not mon.drifting
+        assert mon.events_total == 1            # the event log survives
+        assert mon.observations == 4            # lifetime count survives
+        # the next event needs min_observations of fresh evidence
+        assert mon.observe(1.0, 2.0) is None
+        assert mon.observe(1.0, 2.0) is not None
 
     def test_snapshot_and_report(self):
         mon = DriftMonitor(threshold=0.1, window=4, min_observations=2)

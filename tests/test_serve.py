@@ -199,6 +199,58 @@ class TestLadder:
             full.fastest.estimate_ms(1))
 
 
+class TestLadderRecalibration:
+    @pytest.fixture
+    def fresh(self, tiny_device_module):
+        return TRNLadder.from_base(make_tiny_net(blocks=4),
+                                   tiny_device_module, num_classes=5)
+
+    def test_recalibrate_scales_estimate_not_samples(self, fresh):
+        """The planner's belief moves; the device's behaviour must not."""
+        rung = fresh.rungs[0]
+        base = rung.sampler.base_ms(1)
+        assert rung.estimate_ms(1) == pytest.approx(base)
+        previous = rung.recalibrate(2.0)
+        assert previous == 1.0
+        assert rung.estimate_ms(1) == pytest.approx(2.0 * base)
+        # ground truth unchanged: measured service times still derive
+        # from the un-scaled device model
+        assert rung.sampler.base_ms(1) == pytest.approx(base)
+        assert rung.estimate_table()[1] == pytest.approx(2.0 * base)
+        rung.recalibrate(1.0)
+
+    def test_recalibrate_rejects_degenerate_scales(self, fresh):
+        rung = fresh.rungs[0]
+        for bad in (0.0, -1.0, float("nan"), float("inf")):
+            with pytest.raises(ValueError):
+                rung.recalibrate(bad)
+        assert rung.estimate_scale == 1.0
+
+    def test_resort_preserves_serving_rung_by_identity(self, fresh):
+        """Regression: the cursor used to keep its *index* across a
+        re-sort, silently swapping which network serves traffic."""
+        fresh.reset(1)
+        serving = fresh.current
+        # recalibrate the serving rung to be the slowest of all: after the
+        # re-sort it sits at index 0, not at the old cursor index 1
+        serving.recalibrate(
+            2.0 * fresh.rungs[0].estimate_ms(1) / serving.sampler.base_ms(1))
+        fresh.resort()
+        assert fresh.current is serving
+        assert fresh.current_index == 0
+        ests = [r.estimate_ms(1) for r in fresh.rungs]
+        assert ests == sorted(ests, reverse=True)
+
+    def test_select_by_identity(self, fresh):
+        target = fresh.rungs[-1]
+        fresh.select(target)
+        assert fresh.current is target
+        with pytest.raises(ValueError):
+            fresh.select(TRNLadder.from_base(
+                make_tiny_net(blocks=2), fresh.rungs[0].spec,
+                num_classes=5).rungs[0])
+
+
 class TestHysteresisController:
     def test_degrades_on_high_p99(self):
         ctl = HysteresisController(deadline_ms=1.0, window=16,
