@@ -1,0 +1,45 @@
+"""Fail CI when a BENCH_*.json payload regresses past its baseline.
+
+Compares every ``BENCH_*.json`` in the current directory against the
+committed baselines in ``benchmarks/baselines/`` under the tolerances in
+:data:`repro.obs.DEFAULT_RULES` (miss rates within +2pp absolute,
+throughput and compiled speedups at >= 0.85x baseline, bake-off
+accuracy-at-deadline at >= 0.98x) and exits nonzero with a movers table
+when anything slides. Wired into the bench-smoke CI job directly after
+scripts/bench.sh; also reachable as ``python -m repro obs gate``.
+
+Run via:
+
+    PYTHONPATH=src python scripts/bench_gate.py [--baselines DIR] [--current DIR]
+"""
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src"))
+
+from repro.obs import run_gate  # noqa: E402
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baselines",
+        default=os.path.join(REPO_ROOT, "benchmarks", "baselines"),
+        help="directory of committed BENCH_*.json baselines")
+    parser.add_argument(
+        "--current", default=".",
+        help="directory holding the just-produced BENCH_*.json files")
+    parser.add_argument(
+        "--top", type=int, default=20,
+        help="movers-table rows to print (violations always shown)")
+    args = parser.parse_args()
+    return run_gate(args.baselines, args.current, top=args.top)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -4,14 +4,25 @@
 # ruff ships as a binary wheel that is not part of the minimal runtime
 # image, so this script degrades gracefully: when ruff is missing it
 # reports and exits 0 rather than failing environments that only carry
-# the runtime dependencies. CI installs the `test` extra (which includes
+# the runtime dependencies. CI installs the `test` extra (which pins
 # ruff) and therefore always runs the real checks.
+#
+# `scripts/lint.sh --fix` applies ruff's autofixes and reformats in
+# place instead of checking — the local pre-commit convenience for the
+# same rule set CI enforces.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 if ! command -v ruff >/dev/null 2>&1; then
     echo "lint: ruff not installed (pip install -e '.[test]'); skipping"
+    exit 0
+fi
+
+if [ "${1:-}" = "--fix" ]; then
+    ruff check --fix .
+    ruff format .
+    echo "lint: fixed"
     exit 0
 fi
 

@@ -100,6 +100,8 @@ def cmd_netcut(args) -> int:
     """Run Algorithm 1 and print the proposed candidates."""
     if getattr(args, "netcut_cmd", None) == "online":
         return cmd_netcut_online(args)
+    if getattr(args, "netcut_cmd", None) == "build":
+        return cmd_netcut_build(args)
     wb = _workbench(args)
     result = wb.netcut(args.estimator, deadline_ms=args.deadline)
     print(f"NetCut ({args.estimator}) @ deadline {args.deadline} ms")
@@ -112,6 +114,65 @@ def cmd_netcut(args) -> int:
     best = result.best
     print(f"winner: {best.trn_name} (accuracy {best.accuracy:.4f}, "
           f"measured {best.measured_latency_ms:.3f} ms)")
+    return 0
+
+
+def cmd_netcut_build(args) -> int:
+    """Bake off the pluggable ladder builders on one zoo network.
+
+    Runs the selected :class:`repro.netcut.LadderBuilder` strategies over
+    the base network on a simulated device, prints each strategy's rungs
+    and accuracy-at-deadline, then the mixed Pareto frontier the serving
+    ladder would actually mount. ``--save DIR`` writes the frontier as
+    deployment artifacts (builder tags included) loadable with
+    ``TRNLadder.from_artifacts``.
+    """
+    from repro.device import DEVICE_PROFILES, network_latency
+    from repro.metrics import accuracy_at_deadline
+    from repro.netcut import (
+        BUILDERS,
+        artifact_points,
+        build_rungs,
+        frontier_artifacts,
+        save_artifact,
+    )
+    from repro.zoo import build_network
+
+    spec = DEVICE_PROFILES[args.device]()
+    base = build_network(_resolve_net(args.net)).build(0)
+    names = args.strategy or sorted(BUILDERS)
+    per_strategy = build_rungs(base, spec,
+                               builders=[BUILDERS[n]() for n in names],
+                               max_rungs=args.max_rungs)
+    full_ms = network_latency(base, spec).total_ms
+    deadline = args.deadline_ms or round(args.deadline_frac * full_ms, 6)
+    print(f"{base.name} @ {spec.name}: full model {full_ms:.4f} ms, "
+          f"deadline {deadline:.4f} ms")
+    for strategy in sorted(per_strategy):
+        points = artifact_points(per_strategy[strategy])
+        acc = accuracy_at_deadline(points, deadline)
+        print(f"\n[{strategy}] {len(points)} rungs, "
+              f"acc@deadline {acc:.4f}")
+        for p in sorted(points, key=lambda p: -p.latency_ms):
+            marker = " " if p.latency_ms <= deadline else "!"
+            print(f"  {marker} {p.name:42s} {p.latency_ms:8.4f} ms  "
+                  f"acc {p.accuracy:.4f}")
+    mixed = [a for strategy in sorted(per_strategy)
+             for a in per_strategy[strategy]]
+    front = frontier_artifacts(mixed)
+    acc = accuracy_at_deadline(artifact_points(mixed), deadline)
+    print(f"\nmixed frontier: {len(front)} of {len(mixed)} rungs, "
+          f"acc@deadline {acc:.4f}")
+    for a in front:
+        print(f"    {a.trn_name:42s} {a.measured_latency_ms:8.4f} ms  "
+              f"acc {a.accuracy:.4f}  [{a.builder}]")
+    if args.save:
+        import os
+
+        os.makedirs(args.save, exist_ok=True)
+        for a in front:
+            save_artifact(a, os.path.join(args.save, f"{a.trn_name}.npz"))
+        print(f"saved {len(front)} frontier artifacts to {args.save}/")
     return 0
 
 
@@ -649,8 +710,16 @@ def cmd_obs(args) -> int:
     and prints the firing/resolved timeline — exit status 1 if any alert
     is still firing when the trace drains. ``runs`` lists the archived
     runs of a SQLite run store and ``compare`` diffs two of them, biggest
-    relative movers first.
+    relative movers first. ``gate`` applies the bench-regression
+    tolerances (the same ones CI enforces) to fresh ``BENCH_*.json``
+    files against the committed baselines — exit status 1 on any
+    violation.
     """
+    if args.obs_cmd == "gate":
+        from repro.obs import run_gate
+
+        return run_gate(args.baselines, args.current, top=args.top)
+
     from repro.obs import (
         AlertEngine,
         RunStore,
@@ -819,9 +888,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--deadline", type=float, default=0.9)
     p.add_argument("--estimator", default="profiler",
                    choices=["profiler", "analytical", "linear"])
-    # nested verb: `netcut` alone keeps running Algorithm 1 (required
-    # stays False), `netcut online` closes the serving-time loop
+    # nested verbs: `netcut` alone keeps running Algorithm 1 (required
+    # stays False), `netcut online` closes the serving-time loop,
+    # `netcut build` bakes off the pluggable ladder builders
     nsub = p.add_subparsers(dest="netcut_cmd", required=False)
+    pb = nsub.add_parser(
+        "build",
+        help="bake off the ladder builders, print the mixed frontier")
+    pb.add_argument("--net", default="mobilenet_v1_0.5",
+                    help="zoo network (exact name, prefix or substring)")
+    pb.add_argument("--device", default="xavier",
+                    choices=["xavier", "nano", "agx_boosted"])
+    pb.add_argument("--strategy", action="append", default=None,
+                    choices=["greedy", "filter-prune", "halp", "dp-depth"],
+                    help="builder to run (repeatable; default: all)")
+    pb.add_argument("--max-rungs", type=int, default=4, dest="max_rungs",
+                    help="rung budget per strategy")
+    pb.add_argument("--deadline-ms", type=float, default=None,
+                    dest="deadline_ms",
+                    help="deadline for acc@deadline (overrides the "
+                         "fraction)")
+    pb.add_argument("--deadline-frac", type=float, default=0.6,
+                    dest="deadline_frac",
+                    help="deadline as a fraction of the full model "
+                         "latency")
+    pb.add_argument("--save", default=None, metavar="DIR",
+                    help="write the mixed frontier as .npz artifacts")
     po = nsub.add_parser(
         "online",
         help="drift-triggered re-estimation + live ladder rebuild")
@@ -1041,6 +1133,18 @@ def build_parser() -> argparse.ArgumentParser:
                     help="archive the run in this SQLite run store")
     op.add_argument("--seed", type=int, default=2)
     op.add_argument("--fault-seed", type=int, default=0, dest="fault_seed")
+
+    op = osub.add_parser("gate",
+                         help="bench-regression gate: fresh BENCH_*.json "
+                              "vs committed baselines (exit 1 on "
+                              "regression)")
+    op.add_argument("--baselines", default="benchmarks/baselines",
+                    metavar="DIR",
+                    help="directory of committed BENCH_*.json baselines")
+    op.add_argument("--current", default=".", metavar="DIR",
+                    help="directory with the just-produced BENCH_*.json")
+    op.add_argument("--top", type=int, default=20,
+                    help="movers-table rows (violations always shown)")
 
     op = osub.add_parser("runs", help="list runs archived in a run store")
     op.add_argument("--store", default=None, metavar="PATH",

@@ -123,6 +123,10 @@ class ClusterMetrics:
         deadline = (self.replicas[0].metrics.deadline_ms
                     if self.replicas else float("nan"))
         total = ServerMetrics(deadline)
+        if self.replicas:
+            # like the deadline, the rung inventory follows the first
+            # replica (one ladder per deadline class per run)
+            total.set_ladder(self.replicas[0].metrics.ladder)
         for replica in self.replicas:
             m = replica.metrics
             for name, counter in m.counters.items():

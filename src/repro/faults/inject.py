@@ -168,6 +168,10 @@ class FaultedRung:
         return self._rung.accuracy
 
     @property
+    def builder(self) -> str:
+        return getattr(self._rung, "builder", "")
+
+    @property
     def sampler(self):
         return self._rung.sampler
 

@@ -8,9 +8,11 @@ from .angular import (
 )
 from .pareto import (
     CandidatePoint,
+    accuracy_at_deadline,
     accuracy_gap,
     best_under_deadline,
     dominates,
+    frontier_dominates,
     pareto_frontier,
     relative_improvement,
 )
@@ -24,6 +26,8 @@ __all__ = [
     "dominates",
     "pareto_frontier",
     "best_under_deadline",
+    "accuracy_at_deadline",
     "accuracy_gap",
     "relative_improvement",
+    "frontier_dominates",
 ]

@@ -13,7 +13,8 @@ from dataclasses import dataclass
 import numpy as np
 
 __all__ = ["CandidatePoint", "dominates", "pareto_frontier",
-           "best_under_deadline", "accuracy_gap", "relative_improvement"]
+           "best_under_deadline", "accuracy_at_deadline", "accuracy_gap",
+           "relative_improvement", "frontier_dominates"]
 
 
 @dataclass(frozen=True)
@@ -58,6 +59,32 @@ def best_under_deadline(points: list[CandidatePoint],
     if not feasible:
         return None
     return max(feasible, key=lambda p: (p.accuracy, -p.latency_ms))
+
+
+def accuracy_at_deadline(points: list[CandidatePoint],
+                         deadline_ms: float) -> float:
+    """Accuracy of the best feasible candidate (``nan`` when none meets).
+
+    The bake-off's headline scalar: what a strategy actually delivers
+    when the deadline binds.
+    """
+    best = best_under_deadline(points, deadline_ms)
+    return best.accuracy if best is not None else float("nan")
+
+
+def frontier_dominates(a: list[CandidatePoint],
+                       b: list[CandidatePoint]) -> bool:
+    """Whether frontier ``a`` dominates-or-ties frontier ``b`` everywhere.
+
+    True when every point of ``b`` is matched by some point of ``a`` that
+    is at least as fast *and* at least as accurate — i.e. ``a``'s
+    frontier is nowhere below ``b``'s. A mixed-strategy ladder must
+    satisfy this against each of its constituent single-strategy ladders.
+    """
+    front_a = pareto_frontier(a)
+    return all(any(p.latency_ms <= q.latency_ms and p.accuracy >= q.accuracy
+                   for p in front_a)
+               for q in pareto_frontier(b))
 
 
 def accuracy_gap(points: list[CandidatePoint], deadline_ms: float) -> float:

@@ -2,6 +2,19 @@
 
 from .accounting import CostComparison, ExplorationCost, compare_costs
 from .adapters import AnalyticalAdapter, OracleAdapter, ProfilerAdapter
+from .builders import (
+    BUILDERS,
+    DPDepthBuilder,
+    FilterPruneBuilder,
+    GreedyLayerRemoval,
+    HALPBuilder,
+    LadderBuilder,
+    artifact_points,
+    build_rungs,
+    capacity_accuracy,
+    feature_flops,
+    frontier_artifacts,
+)
 from .deploy import DeploymentArtifact, deploy, load_artifact, save_artifact
 from .algorithm import NetCutCandidate, NetCutResult, run_netcut
 from .margin import MarginAdapter, violation_rate
@@ -32,4 +45,15 @@ __all__ = [
     "ReestimationController",
     "fit_scales",
     "select_rung",
+    "LadderBuilder",
+    "GreedyLayerRemoval",
+    "FilterPruneBuilder",
+    "HALPBuilder",
+    "DPDepthBuilder",
+    "BUILDERS",
+    "capacity_accuracy",
+    "feature_flops",
+    "build_rungs",
+    "artifact_points",
+    "frontier_artifacts",
 ]

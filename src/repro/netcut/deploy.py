@@ -15,21 +15,22 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.data.synthetic import Dataset
-from repro.device.quantize import QuantizedNetwork, calibration_split
-from repro.device.runtime import measure_latency
-from repro.metrics.angular import mean_angular_similarity
+from repro.device.quantize import QuantizedNetwork
 from repro.nn.graph import Network
 from repro.nn.serialize import architecture_dict, network_from_dict
-from repro.train.features import record_gap_features
-from repro.train.trainer import train_head_on_features, transplant_head
-from repro.trim.blocks import block_boundaries
 
 __all__ = ["DeploymentArtifact", "deploy", "save_artifact", "load_artifact"]
 
 
 @dataclass
 class DeploymentArtifact:
-    """A validated, trained, optionally quantized TRN ready to ship."""
+    """A validated, trained, optionally quantized TRN ready to ship.
+
+    ``builder`` names the :class:`repro.netcut.builders.LadderBuilder`
+    strategy that produced the rung (empty for the classic deploy
+    pipeline, whose ``.npz`` format predates the tag and stays
+    byte-compatible).
+    """
 
     network: Network
     trn_name: str
@@ -40,6 +41,7 @@ class DeploymentArtifact:
     quantized: QuantizedNetwork | None = None
     int8_accuracy: float = float("nan")
     path: str | None = None
+    builder: str = ""
 
     @property
     def meets_deadline(self) -> bool:
@@ -55,49 +57,20 @@ def deploy(workbench, deadline_ms: float | None = None,
     the full training split → weight transplant → (optional) INT8
     quantization with a 10% calibration split → (optional) serialisation.
 
+    The pipeline itself lives on
+    :meth:`repro.netcut.builders.GreedyLayerRemoval.deploy` — the paper's
+    strategy behind the pluggable :class:`~repro.netcut.builders
+    .LadderBuilder` interface — and this function delegates to it, so the
+    historical entry point keeps producing byte-identical artifacts.
+
     Raises ``RuntimeError`` when no candidate's *measured* latency meets
     the deadline.
     """
-    deadline = (deadline_ms if deadline_ms is not None
-                else workbench.config.deadline_ms)
-    result = workbench.netcut(estimator, deadline_ms=deadline)
-    validated = [c for c in result.candidates
-                 if c.feasible and c.measured_latency_ms is not None
-                 and c.measured_latency_ms <= deadline]
-    if not validated:
-        raise RuntimeError(
-            f"no candidate's measured latency meets {deadline} ms")
-    best = max(validated, key=lambda c: c.accuracy)
+    from .builders import GreedyLayerRemoval  # lazy: avoids import cycle
 
-    base = workbench.base(best.base_name)
-    cut_node = (best.cutpoint.cut_node if best.cutpoint
-                else block_boundaries(base)[-1].output_node)
-    train_data, test_data = workbench.hands()
-    feats_train = record_gap_features(base, train_data.x, [cut_node])
-    head = train_head_on_features(
-        feats_train[cut_node], train_data.y, workbench.config.num_classes,
-        epochs=workbench.config.head_epochs,
-        rng=workbench.config.seed).network
-
-    trn = workbench.transfer_model(best.base_name, best.cutpoint)
-    transplant_head(head, trn)
-    measured = measure_latency(trn, workbench.device).mean_ms
-    accuracy = mean_angular_similarity(_predict(trn, test_data),
-                                       test_data.y)
-
-    artifact = DeploymentArtifact(trn, best.trn_name, best.base_name,
-                                  measured, accuracy, deadline)
-    if quantize:
-        calib_idx = calibration_split(len(train_data), 0.1,
-                                      rng=workbench.config.seed)
-        artifact.quantized = QuantizedNetwork(trn,
-                                              train_data.x[calib_idx])
-        q_pred = artifact.quantized.forward(test_data.x)
-        artifact.int8_accuracy = mean_angular_similarity(q_pred,
-                                                         test_data.y)
-    if save_path is not None:
-        save_artifact(artifact, save_path)
-    return artifact
+    return GreedyLayerRemoval().deploy(
+        workbench, deadline_ms=deadline_ms, estimator=estimator,
+        quantize=quantize, save_path=save_path)
 
 
 def save_artifact(artifact: DeploymentArtifact, path: str) -> None:
@@ -121,6 +94,10 @@ def save_artifact(artifact: DeploymentArtifact, path: str) -> None:
         "deadline_ms": artifact.deadline_ms,
         "int8_accuracy": artifact.int8_accuracy,
     }
+    if artifact.builder:
+        # only tagged rungs grow the key: untagged artifacts keep the
+        # exact pre-builder .npz bytes
+        meta["builder"] = artifact.builder
     np.savez_compressed(
         path,
         __architecture__=np.array(json.dumps(architecture_dict(net))),
@@ -154,7 +131,8 @@ def load_artifact(path: str) -> DeploymentArtifact:
         accuracy=meta["accuracy"],
         deadline_ms=meta["deadline_ms"],
         int8_accuracy=meta.get("int8_accuracy", float("nan")),
-        path=path)
+        path=path,
+        builder=meta.get("builder", ""))
 
 
 def _predict(net: Network, data: Dataset, batch_size: int = 128

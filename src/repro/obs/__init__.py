@@ -30,6 +30,9 @@ instrumentation first-class:
   firing/resolving deterministically in virtual time.
 - :class:`RunStore` — a SQLite archive of runs (metadata, final metrics,
   series, BENCH payloads) with ``runs``/``series``/``compare`` queries.
+- :func:`evaluate_gate` / :class:`GateRule` — the bench-regression gate:
+  fresh ``BENCH_*.json`` payloads vs committed baselines under per-metric
+  tolerances, failing CI with a movers table when a number slides.
 
 Attach to a server with plain keyword arguments::
 
@@ -45,6 +48,15 @@ Attach to a server with plain keyword arguments::
 
 from .alerts import AlertEngine, AlertEvent, BurnRateRule, default_slo_rules
 from .drift import DriftEvent, DriftMonitor
+from .gate import (
+    DEFAULT_RULES,
+    GateFinding,
+    GateReport,
+    GateRule,
+    evaluate_gate,
+    load_bench_dir,
+    run_gate,
+)
 from .export import chrome_trace, to_jsonl, write_chrome_trace, write_jsonl
 from .profiler import LayerProfiler, profile_forward
 from .registry import MetricsRegistry
@@ -87,4 +99,11 @@ __all__ = [
     "default_slo_rules",
     "MetricsRegistry",
     "RunStore",
+    "GateRule",
+    "GateFinding",
+    "GateReport",
+    "DEFAULT_RULES",
+    "evaluate_gate",
+    "load_bench_dir",
+    "run_gate",
 ]

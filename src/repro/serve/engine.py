@@ -168,6 +168,11 @@ class Engine:
                 recalibrated = True
         if recalibrated and hasattr(ladder, "resort"):
             ladder.resort()
+        # record the rung inventory (names, builder tags, deployment-time
+        # estimates) on the metrics surface after the belief restore above,
+        # so every run's snapshot reports the same deployment ladder
+        if hasattr(ladder, "snapshot"):
+            metrics.set_ladder(ladder.snapshot())
         self.reestimator = None
         if config.online_reestimation:
             # lazy import: the engine must not pull the netcut package

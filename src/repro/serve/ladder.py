@@ -40,6 +40,10 @@ class TRNRung:
     network: Network
     spec: DeviceSpec
     accuracy: float = float("nan")
+    #: which LadderBuilder strategy produced the rung ("" = unknown);
+    #: carried from the deployment artifact into metrics labels and the
+    #: serve snapshot so mixed ladders stay attributable per strategy
+    builder: str = ""
     sampler: ServiceTimeSampler = field(init=False, repr=False)
     # planner belief vs. device truth: estimate_scale multiplies what the
     # *planner* (admission, batching, ladder ordering) believes this rung
@@ -125,8 +129,13 @@ class TRNLadder:
     @classmethod
     def from_artifacts(cls, artifacts, spec: DeviceSpec) -> "TRNLadder":
         """Build a ladder from :class:`repro.netcut.deploy.DeploymentArtifact`s
-        (e.g. round-tripped through ``save_artifact``/``load_artifact``)."""
-        return cls([TRNRung(a.trn_name, a.network, spec, a.accuracy)
+        (e.g. round-tripped through ``save_artifact``/``load_artifact``).
+
+        Artifacts may come from *different* ladder builders — rungs are
+        sorted by latency estimate regardless of origin, and each rung
+        keeps its artifact's ``builder`` tag."""
+        return cls([TRNRung(a.trn_name, a.network, spec, a.accuracy,
+                            getattr(a, "builder", ""))
                     for a in artifacts])
 
     @classmethod
@@ -229,14 +238,31 @@ class TRNLadder:
         for i, rung in enumerate(self.rungs):
             rung.reseed(seed + i)
 
+    def snapshot(self) -> list[dict]:
+        """JSON-able rung inventory (deployment-time estimates and tags).
+
+        One dict per rung in ladder order: name, builder tag, batch-1
+        estimate, accuracy. Uses ``getattr`` so wrapped rungs (e.g. fault
+        proxies) snapshot too.
+        """
+        return [{"name": r.name,
+                 "builder": getattr(r, "builder", ""),
+                 "estimate_ms": round(r.estimate_ms(1), 6),
+                 "accuracy": round(float(r.accuracy), 6)
+                 if math.isfinite(getattr(r, "accuracy", float("nan")))
+                 else None}
+                for r in self.rungs]
+
     def describe(self) -> str:
-        """One line per rung: name, batch-1 estimate, accuracy."""
+        """One line per rung: name, builder tag, batch-1 estimate, accuracy."""
         lines = []
         for i, r in enumerate(self.rungs):
             marker = "->" if i == self._current else "  "
             acc = f"{r.accuracy:.4f}" if math.isfinite(r.accuracy) else "?"
+            tag = getattr(r, "builder", "")
+            tag = f"  [{tag}]" if tag else ""
             lines.append(f"{marker} [{i}] {r.name:32s} "
-                         f"est {r.estimate_ms(1):.3f} ms  acc {acc}")
+                         f"est {r.estimate_ms(1):.3f} ms  acc {acc}{tag}")
         return "\n".join(lines)
 
 

@@ -253,8 +253,15 @@ class ServerMetrics:
         self.per_rung: dict[str, int] = {}
         self.tenants: dict[str, dict] = {}
         self.events: list[DegradationEvent] = []
+        # rung inventory (name/builder/estimate/accuracy per rung), set by
+        # the engine from TRNLadder.snapshot() at construction time
+        self.ladder: list[dict] = []
         self.tele = None if telemetry is None \
             else ServeTelemetry(telemetry, labels)
+
+    def set_ladder(self, rungs: list[dict]) -> None:
+        """Record the serving ladder's rung inventory (see snapshot)."""
+        self.ladder = [dict(r) for r in rungs]
 
     def _tenant(self, tenant: str) -> dict:
         if tenant not in self.tenants:
@@ -431,6 +438,7 @@ class ServerMetrics:
             "queue_wait": self.queue_wait.snapshot(),
             "service": self.service.snapshot(),
             "per_rung": dict(self.per_rung),
+            "ladder": list(self.ladder),
             "tenants": {
                 name: dict(bucket, miss_rate=(
                     bucket["deadline_miss"] / bucket["completed"]

@@ -1,6 +1,15 @@
-"""Layer removal: block boundaries, cutpoint enumeration, TRN construction."""
+"""Layer removal: block boundaries, cutpoint enumeration, TRN construction,
+plus the structural-compression surgery (channel pruning, block skipping)
+behind the alternative ladder builders."""
 
 from .blocks import BlockBoundary, block_boundaries, stem_output
+from .prune import (
+    channel_importance,
+    prunable_channel_convs,
+    prune_channels,
+    remove_blocks,
+    skippable_blocks,
+)
 from .removal import (
     DEFAULT_HEAD_HIDDEN,
     attach_head,
@@ -24,4 +33,9 @@ __all__ = [
     "Cutpoint",
     "enumerate_blockwise",
     "enumerate_iterative",
+    "channel_importance",
+    "prunable_channel_convs",
+    "prune_channels",
+    "skippable_blocks",
+    "remove_blocks",
 ]

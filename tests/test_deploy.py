@@ -1,5 +1,7 @@
 """Tests for the end-to-end deployment pipeline (reduced workbench)."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -65,3 +67,28 @@ class TestDeploy:
         assert art.quantized is None
         assert art.path is None
         assert np.isnan(art.int8_accuracy)
+
+
+class TestDeployBuilderRefactor:
+    """deploy() now routes through GreedyLayerRemoval, byte-compatibly."""
+
+    def test_deploy_matches_greedy_builder_byte_for_byte(self, wb,
+                                                         tmp_path):
+        from repro.netcut import GreedyLayerRemoval
+
+        via_deploy = str(tmp_path / "via_deploy.npz")
+        via_builder = str(tmp_path / "via_builder.npz")
+        a = deploy(wb, quantize=False, save_path=via_deploy)
+        b = GreedyLayerRemoval().deploy(wb, quantize=False,
+                                        save_path=via_builder)
+        assert a.trn_name == b.trn_name
+        assert a.builder == "" and b.builder == ""
+        with open(via_deploy, "rb") as fa, open(via_builder, "rb") as fb:
+            assert fa.read() == fb.read()
+
+    def test_untagged_npz_meta_has_no_builder_key(self, artifact):
+        """The pipeline's .npz format predates the builder tag and must
+        not grow the key (pre-refactor byte compatibility)."""
+        with np.load(artifact.path) as archive:
+            meta = json.loads(str(archive["__artifact__"]))
+        assert "builder" not in meta
